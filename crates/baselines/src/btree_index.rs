@@ -1,0 +1,168 @@
+//! "Approach (3)" of the paper's Related Work: store `(s_i, i)` pairs in a
+//! sorted dictionary (a B-Tree in databases; `BTreeMap` here), keeping a
+//! full uncompressed copy of the sequence for `Access`.
+//!
+//! As §1 notes, this supports `Select` (and, with per-key posting lists,
+//! `Rank`) but "offers little or no guaranteed compression ratio": the
+//! measured space in E4/E9 is a multiple of the input, versus the Wavelet
+//! Trie's entropy bound.
+
+use std::collections::BTreeMap;
+use wt_bits::SpaceUsage;
+
+/// Traditional two-copy index: a position-ordered copy for `Access` plus a
+/// `BTreeMap<string, sorted positions>` for `Rank`/`Select`.
+#[derive(Clone, Debug, Default)]
+pub struct BTreeIndex {
+    seq: Vec<Vec<u8>>,
+    postings: BTreeMap<Vec<u8>, Vec<u32>>,
+}
+
+impl BTreeIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from an iterator of byte strings.
+    pub fn from_iter<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let mut t = Self::new();
+        for s in iter {
+            t.push(s);
+        }
+        t
+    }
+
+    /// Appends `s` (positions only grow, so postings stay sorted).
+    pub fn push(&mut self, s: impl AsRef<[u8]>) {
+        let pos = self.seq.len() as u32;
+        let s = s.as_ref().to_vec();
+        self.postings.entry(s.clone()).or_default().push(pos);
+        self.seq.push(s);
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Distinct strings.
+    pub fn distinct_len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// `Access(pos)` — needs the uncompressed copy.
+    pub fn get(&self, pos: usize) -> &[u8] {
+        &self.seq[pos]
+    }
+
+    /// `Rank(s, pos)` via binary search in the posting list.
+    pub fn rank(&self, s: impl AsRef<[u8]>, pos: usize) -> usize {
+        match self.postings.get(s.as_ref()) {
+            Some(v) => v.partition_point(|&p| (p as usize) < pos),
+            None => 0,
+        }
+    }
+
+    /// `Select(s, idx)`.
+    pub fn select(&self, s: impl AsRef<[u8]>, idx: usize) -> Option<usize> {
+        self.postings
+            .get(s.as_ref())
+            .and_then(|v| v.get(idx))
+            .map(|&p| p as usize)
+    }
+
+    /// `RankPrefix(p, pos)`: walks every key with prefix `p`
+    /// (O(#matching keys · log n) — no shared-prefix structure to exploit).
+    pub fn rank_prefix(&self, p: impl AsRef<[u8]>, pos: usize) -> usize {
+        let p = p.as_ref();
+        self.prefix_keys(p)
+            .map(|(_, v)| v.partition_point(|&q| (q as usize) < pos))
+            .sum()
+    }
+
+    /// `SelectPrefix(p, idx)` by merging posting lists (O(total postings)).
+    pub fn select_prefix(&self, p: impl AsRef<[u8]>, idx: usize) -> Option<usize> {
+        let p = p.as_ref();
+        let mut positions: Vec<u32> = self
+            .prefix_keys(p)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        positions.sort_unstable();
+        positions.get(idx).map(|&q| q as usize)
+    }
+
+    fn prefix_keys<'a>(
+        &'a self,
+        p: &'a [u8],
+    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a Vec<u32>)> + 'a {
+        self.postings
+            .range(p.to_vec()..)
+            .take_while(move |(k, _)| k.starts_with(p))
+    }
+
+    /// Occurrences of `s`.
+    pub fn count(&self, s: impl AsRef<[u8]>) -> usize {
+        self.postings.get(s.as_ref()).map_or(0, |v| v.len())
+    }
+}
+
+impl SpaceUsage for BTreeIndex {
+    fn size_bits(&self) -> usize {
+        let seq_bits: usize = self
+            .seq
+            .iter()
+            .map(|s| s.capacity() * 8 + std::mem::size_of::<Vec<u8>>() * 8)
+            .sum();
+        let postings_bits: usize = self
+            .postings
+            .iter()
+            .map(|(k, v)| k.capacity() * 8 + v.capacity() * 32 + 3 * 64)
+            .sum();
+        seq_bits + postings_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive() {
+        let strs = ["b.org/y", "a.com/x", "a.com/x", "a.com/z", "c.net/"];
+        let t = BTreeIndex::from_iter(strs);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.distinct_len(), 4);
+        assert_eq!(t.get(1), b"a.com/x");
+        assert_eq!(t.rank("a.com/x", 3), 2);
+        assert_eq!(t.select("a.com/x", 1), Some(2));
+        assert_eq!(t.select("a.com/x", 2), None);
+        assert_eq!(t.rank_prefix("a.com/", 5), 3);
+        assert_eq!(t.rank_prefix("a.com/", 2), 1);
+        assert_eq!(t.select_prefix("a.com/", 2), Some(3));
+        assert_eq!(t.select_prefix("nope", 0), None);
+        assert_eq!(t.count("c.net/"), 1);
+    }
+
+    #[test]
+    fn space_is_multiple_of_input() {
+        let strs: Vec<String> = (0..500).map(|i| format!("key-{:04}", i % 100)).collect();
+        let t = BTreeIndex::from_iter(strs.iter());
+        let input_bits: usize = strs.iter().map(|s| s.len() * 8).sum();
+        assert!(
+            t.size_bits() > input_bits,
+            "two copies must exceed the input: {} vs {}",
+            t.size_bits(),
+            input_bits
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! E9: appending under a growing alphabet — Wavelet Trie vs approach (1)
+//! (dictionary + rebuild) vs approach (3) (BTree + copy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wavelet_trie::AppendLog;
+use wt_baselines::{BTreeIndex, DictSequence};
+use wt_workloads::{url_log, UrlLogConfig};
+
+fn bench_growing_alphabet(c: &mut Criterion) {
+    let cfg = UrlLogConfig {
+        hosts: 2000,
+        ..UrlLogConfig::default()
+    };
+    let n = 4_000;
+    let data = url_log(n, cfg, 9);
+
+    let mut g = c.benchmark_group("alphabet_growth_ingest");
+    g.sample_size(10);
+    g.bench_function("wavelet_trie", |b| {
+        b.iter(|| {
+            let mut log = AppendLog::new();
+            for s in &data {
+                log.append(s);
+            }
+            black_box(log.len())
+        })
+    });
+    g.bench_function("dict_int_wt_rebuilds", |b| {
+        b.iter(|| {
+            let mut d = DictSequence::new();
+            for s in &data {
+                d.push(s);
+            }
+            black_box(d.rebuilds())
+        })
+    });
+    g.bench_function("btree_two_copies", |b| {
+        b.iter(|| {
+            let mut t = BTreeIndex::new();
+            for s in &data {
+                t.push(s);
+            }
+            black_box(t.len())
+        })
+    });
+    g.finish();
+
+    // Query-side comparison on a fixed structure.
+    let mut log = AppendLog::new();
+    let mut btree = BTreeIndex::new();
+    for s in &data {
+        log.append(s);
+        btree.push(s);
+    }
+    let mut g = c.benchmark_group("alphabet_growth_queries");
+    g.bench_function("wt_rank_prefix", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(log.rank_prefix("http://host1", i))
+        })
+    });
+    g.bench_function("btree_rank_prefix", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(btree.rank_prefix("http://host1", i))
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_growing_alphabet
+}
+criterion_main!(benches);

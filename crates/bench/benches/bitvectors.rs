@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the bitvector substrates (E5/E6):
+//! rank/select/access across Fid, RRR, append-only and dynamic vectors,
+//! plus append/insert/Init update costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wt_bits::{
+    AppendBitVec, BitAccess, BitRank, BitSelect, DynamicBitVec, Fid, RawBitVec, RrrVector,
+};
+
+const N: usize = 1 << 20;
+
+fn make_raw(density: u64) -> RawBitVec {
+    let mut s = 0xDEAD_BEEFu64;
+    RawBitVec::from_bits((0..N).map(|_| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.is_multiple_of(density)
+    }))
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let raw = make_raw(8);
+    let fid = Fid::new(raw.clone());
+    let rrr = RrrVector::new(&raw);
+    let app = AppendBitVec::from_bits(raw.iter());
+    let dynv = DynamicBitVec::from_bits(raw.iter());
+    let ones = fid.count_ones();
+
+    let mut g = c.benchmark_group("bitvec_rank");
+    macro_rules! rank_bench {
+        ($name:literal, $v:ident) => {
+            g.bench_function($name, |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 7919) % N;
+                    black_box($v.rank1(i))
+                })
+            });
+        };
+    }
+    rank_bench!("fid", fid);
+    rank_bench!("rrr", rrr);
+    rank_bench!("append", app);
+    rank_bench!("dynamic", dynv);
+    g.finish();
+
+    let mut g = c.benchmark_group("bitvec_select");
+    macro_rules! select_bench {
+        ($name:literal, $v:ident) => {
+            g.bench_function($name, |b| {
+                let mut k = 0usize;
+                b.iter(|| {
+                    k = (k + 6151) % ones;
+                    black_box($v.select1(k))
+                })
+            });
+        };
+    }
+    select_bench!("fid", fid);
+    select_bench!("rrr", rrr);
+    select_bench!("append", app);
+    select_bench!("dynamic", dynv);
+    g.finish();
+
+    let mut g = c.benchmark_group("bitvec_access");
+    macro_rules! access_bench {
+        ($name:literal, $v:ident) => {
+            g.bench_function($name, |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 7919) % N;
+                    black_box($v.get(i))
+                })
+            });
+        };
+    }
+    access_bench!("fid", fid);
+    access_bench!("rrr", rrr);
+    access_bench!("append", app);
+    access_bench!("dynamic", dynv);
+    g.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitvec_update");
+    g.bench_function("append_push", |b| {
+        let mut v = AppendBitVec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            v.push(i.is_multiple_of(8));
+        })
+    });
+    g.bench_function("dynamic_insert_remove", |b| {
+        let mut v = DynamicBitVec::from_bits((0..100_000).map(|i| i % 5 == 0));
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            v.insert(i, i.is_multiple_of(2));
+            black_box(v.remove(i));
+        })
+    });
+    // Init(b, n) for huge n: the Remark 4.2 constant-time property.
+    for n in [1_000_000usize, 1_000_000_000] {
+        g.bench_with_input(BenchmarkId::new("dynamic_init", n), &n, |b, &n| {
+            b.iter(|| black_box(DynamicBitVec::filled(true, n)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_queries, bench_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E8: §6 randomized Wavelet Tree vs the unhashed trie and the classic
+//! fixed-alphabet integer Wavelet Tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wavelet_trie::RandomizedWaveletTree;
+use wt_baselines::IntWaveletTree;
+use wt_workloads::small_alphabet_u64;
+
+fn bench_randomized(c: &mut Criterion) {
+    let n = 50_000;
+    let values = small_alphabet_u64(n, 64, 64, 9);
+
+    let mut hashed = RandomizedWaveletTree::new(64, 13);
+    let mut unhashed = RandomizedWaveletTree::unhashed(64);
+    for &v in &values {
+        hashed.push(v);
+        unhashed.push(v);
+    }
+    // Fixed-alphabet baseline: needs the dictionary built up front.
+    let mut dict: Vec<u64> = values.clone();
+    dict.sort_unstable();
+    dict.dedup();
+    let ids: Vec<u64> = values
+        .iter()
+        .map(|v| dict.binary_search(v).unwrap() as u64)
+        .collect();
+    let int_wt = IntWaveletTree::new(&ids, dict.len() as u64);
+
+    let mut g = c.benchmark_group("randomized_wt");
+    g.bench_function("hashed_access", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(hashed.get(i))
+        })
+    });
+    g.bench_function("unhashed_access", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(unhashed.get(i))
+        })
+    });
+    g.bench_function("int_wt_access", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(int_wt.access(i))
+        })
+    });
+    g.bench_function("hashed_rank", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(hashed.rank(values[i], i))
+        })
+    });
+    g.bench_function("hashed_insert_remove", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            hashed.insert(values[i], i);
+            black_box(hashed.remove(i));
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_randomized
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E7: §5 range algorithms vs the naive scanning baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wavelet_trie::binarize::{Coder, NinthBitCoder};
+use wavelet_trie::{BitString, SequenceOps, WaveletTrie};
+use wt_baselines::NaiveSeq;
+use wt_workloads::{url_log, UrlLogConfig};
+
+fn bench_range(c: &mut Criterion) {
+    let n = 100_000;
+    let data = url_log(n, UrlLogConfig::default(), 77);
+    let coder = NinthBitCoder;
+    let seq: Vec<BitString> = data.iter().map(|s| coder.encode(s.as_bytes())).collect();
+    let wt = WaveletTrie::build(&seq).unwrap();
+    let naive = NaiveSeq::from_iter(data.iter());
+
+    let mut g = c.benchmark_group("range_ops");
+    g.sample_size(10);
+    for w in [1_000usize, 30_000] {
+        let (l, r) = ((n - w) / 2, (n - w) / 2 + w);
+        g.bench_with_input(BenchmarkId::new("wt_distinct", w), &w, |b, _| {
+            b.iter(|| black_box(wt.distinct_in_range(l, r)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_distinct", w), &w, |b, _| {
+            b.iter(|| black_box(naive.distinct_in_range(l, r)))
+        });
+        g.bench_with_input(BenchmarkId::new("wt_majority", w), &w, |b, _| {
+            b.iter(|| black_box(wt.range_majority(l, r)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_majority", w), &w, |b, _| {
+            b.iter(|| black_box(naive.range_majority(l, r)))
+        });
+        let t = (w / 50).max(2);
+        g.bench_with_input(BenchmarkId::new("wt_frequent", w), &w, |b, _| {
+            b.iter(|| black_box(wt.range_frequent(l, r, t)))
+        });
+        g.bench_with_input(BenchmarkId::new("wt_iterate", w), &w, |b, _| {
+            b.iter(|| {
+                let mut c = 0usize;
+                for s in wt.iter_range(l, r) {
+                    c += s.len();
+                }
+                black_box(c)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_range
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E2 (Table 1, append-only row): `Append` and queries of the append-only
+//! Wavelet Trie — per-op cost should stay flat as the log grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wavelet_trie::binarize::{Coder, NinthBitCoder};
+use wavelet_trie::{AppendWaveletTrie, BitString, SequenceOps};
+use wt_workloads::{url_log, UrlLogConfig};
+
+fn bench_append(c: &mut Criterion) {
+    let coder = NinthBitCoder;
+    let mut g = c.benchmark_group("table1_append");
+    for n in [20_000usize, 80_000] {
+        let data = url_log(n, UrlLogConfig::default(), 1);
+        let seq: Vec<BitString> = data.iter().map(|s| coder.encode(s.as_bytes())).collect();
+        // Append on top of an existing log of size n.
+        g.bench_with_input(BenchmarkId::new("append", n), &n, |b, &n| {
+            let mut wt = AppendWaveletTrie::new();
+            for s in &seq {
+                wt.append(s.as_bitstr()).unwrap();
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                wt.append(seq[i].as_bitstr()).unwrap();
+            })
+        });
+        let mut wt = AppendWaveletTrie::new();
+        for s in &seq {
+            wt.append(s.as_bitstr()).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("access", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.access(i))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rank", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.rank(seq[i].as_bitstr(), i))
+            })
+        });
+        let prefix = coder.encode_prefix(b"http://host001.example");
+        g.bench_with_input(BenchmarkId::new("rank_prefix", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.rank_prefix(prefix.as_bitstr(), i))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_append
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E3 (Table 1, fully-dynamic row): `Insert`/`Delete` and queries of the
+//! fully dynamic Wavelet Trie — expect an extra ~log n factor vs E1/E2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wavelet_trie::binarize::{Coder, NinthBitCoder};
+use wavelet_trie::{BitString, DynamicWaveletTrie, SequenceOps};
+use wt_workloads::{url_log, UrlLogConfig};
+
+fn bench_dynamic(c: &mut Criterion) {
+    let coder = NinthBitCoder;
+    let mut g = c.benchmark_group("table1_dynamic");
+    for n in [20_000usize, 80_000] {
+        let data = url_log(n, UrlLogConfig::default(), 1);
+        let seq: Vec<BitString> = data.iter().map(|s| coder.encode(s.as_bytes())).collect();
+        let mut wt = DynamicWaveletTrie::new();
+        for s in &seq {
+            wt.append(s.as_bitstr()).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("insert_delete", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                wt.insert(seq[i].as_bitstr(), i).unwrap();
+                black_box(wt.delete(i));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("access", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.access(i))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rank", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.rank(seq[i].as_bitstr(), i))
+            })
+        });
+        let prefix = coder.encode_prefix(b"http://host001.example");
+        g.bench_with_input(BenchmarkId::new("select_prefix", n), &n, |b, _| {
+            let mut k = 0usize;
+            b.iter(|| {
+                k = (k + 1) % 8;
+                black_box(wt.select_prefix(prefix.as_bitstr(), k))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dynamic
+}
+criterion_main!(benches);

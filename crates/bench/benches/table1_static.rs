@@ -1,0 +1,89 @@
+//! E1 (Table 1, static row): query operations of the static Wavelet Trie
+//! at two sizes — per-op time should be (near-)independent of n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wavelet_trie::binarize::{Coder, NinthBitCoder};
+use wavelet_trie::{BitString, SequenceOps, WaveletTrie};
+use wt_workloads::{url_log, UrlLogConfig};
+
+fn build(n: usize) -> (WaveletTrie, Vec<BitString>, BitString) {
+    let coder = NinthBitCoder;
+    let data = url_log(n, UrlLogConfig::default(), 1);
+    let seq: Vec<BitString> = data.iter().map(|s| coder.encode(s.as_bytes())).collect();
+    let wt = WaveletTrie::build(&seq).unwrap();
+    let prefix = coder.encode_prefix(b"http://host001.example");
+    (wt, seq, prefix)
+}
+
+fn bench_static(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_static");
+    for n in [20_000usize, 80_000] {
+        let (wt, seq, prefix) = build(n);
+        g.bench_with_input(BenchmarkId::new("access", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.access(i))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rank", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.rank(seq[i].as_bitstr(), i))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("select", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.select(seq[i].as_bitstr(), 0))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rank_prefix", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                black_box(wt.rank_prefix(prefix.as_bitstr(), i))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("select_prefix", n), &n, |b, _| {
+            let mut k = 0usize;
+            b.iter(|| {
+                k = (k + 1) % 8;
+                black_box(wt.select_prefix(prefix.as_bitstr(), k))
+            })
+        });
+    }
+    g.finish();
+
+    // Construction throughput.
+    let mut g = c.benchmark_group("table1_static_build");
+    g.sample_size(10);
+    {
+        let n = 20_000usize;
+        let coder = NinthBitCoder;
+        let data = url_log(n, UrlLogConfig::default(), 1);
+        let seq: Vec<BitString> = data.iter().map(|s| coder.encode(s.as_bytes())).collect();
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(WaveletTrie::build(&seq).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_static
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Renders the paper's Figures 1–3 from the actual structures, so the
+//! reproduction can be compared with the paper visually.
+
+use wavelet_trie::{BitString, DynamicWaveletTrie, TrieNav, WaveletTrie};
+
+/// Pretty-prints a Wavelet Trie, preorder, with box-drawing indentation.
+fn render<T: TrieNav>(t: &T) {
+    fn rec<'a, T: TrieNav>(t: &'a T, v: T::Node<'a>, indent: &str, branch: &str) {
+        let mut label = BitString::new();
+        t.nav_label_append(v, &mut label);
+        let alpha = if label.is_empty() {
+            "ε".to_string()
+        } else {
+            label.to_string()
+        };
+        if t.nav_is_leaf(v) {
+            println!("{indent}{branch}α: {alpha}");
+        } else {
+            let beta: String = (0..t.nav_bv_len(v))
+                .map(|i| if t.nav_bv_get(v, i) { '1' } else { '0' })
+                .collect();
+            println!("{indent}{branch}α: {alpha}   β: {beta}");
+            let deeper = format!("{indent}│   ");
+            rec(t, t.nav_child(v, false), &deeper, "0─ ");
+            rec(t, t.nav_child(v, true), &deeper, "1─ ");
+        }
+    }
+    match t.nav_root() {
+        Some(r) => rec(t, r, "", ""),
+        None => println!("(empty)"),
+    }
+}
+
+fn main() {
+    // ---- Figure 1: Wavelet Tree of abracadabra ---------------------------
+    println!("Figure 1 — Wavelet Tree of \"abracadabra\" over {{a,b,c,d,r}}");
+    println!("(partition {{a,b}} | {{c,d,r}} as drawn in the paper)\n");
+    let text = "abracadabra";
+    let top: String = text
+        .chars()
+        .map(|c| if "cdr".contains(c) { '1' } else { '0' })
+        .collect();
+    let left: String = text.chars().filter(|c| "ab".contains(*c)).collect();
+    let left_bits: String = left.chars().map(|c| if c == 'b' { '1' } else { '0' }).collect();
+    let right: String = text.chars().filter(|c| "cdr".contains(*c)).collect();
+    let right_bits: String = right.chars().map(|c| if c == 'c' { '0' } else { '1' }).collect();
+    println!("  {text}");
+    println!("  {top}        {{a,b}} vs {{c,d,r}}");
+    println!("  ├─0: {left} / {left_bits}   {{a}} vs {{b}}");
+    println!("  └─1: {right} / {right_bits}        {{c}} vs {{d,r}}\n");
+
+    // ---- Figure 2: Wavelet Trie of the running example -------------------
+    println!("Figure 2 — Wavelet Trie of 〈0001,0011,0100,00100,0100,00100,0100〉\n");
+    let seq: Vec<BitString> = ["0001", "0011", "0100", "00100", "0100", "00100", "0100"]
+        .iter()
+        .map(|s| BitString::parse(s))
+        .collect();
+    let wt = WaveletTrie::build(&seq).unwrap();
+    render(&wt);
+
+    // ---- Figure 3: insertion splitting a node -----------------------------
+    println!("\nFigure 3 — Insert(s, 3) splits an existing node");
+    let mut dy = DynamicWaveletTrie::new();
+    for s in ["01011", "01011", "11", "01011"] {
+        dy.append(BitString::parse(s).as_bitstr()).unwrap();
+    }
+    println!("\nbefore (sequence 〈01011,01011,11,01011〉):\n");
+    render(&dy);
+    dy.insert(BitString::parse("01010").as_bitstr(), 3).unwrap();
+    println!("\nafter inserting 01010 at position 3 (node \"1011\" split,");
+    println!("new internal node got Init(1, 3) then the new 0-bit):\n");
+    render(&dy);
+}

@@ -1,0 +1,538 @@
+//! Append-only compressed bitvector (§4.1 of the paper, Theorem 4.5).
+//!
+//! The bitvector is the concatenation `B₁·B₂···B_k·B'` where each sealed
+//! block `Bᵢ` holds exactly `L` bits compressed with RRR and `B'` is a small
+//! explicit tail (Lemma 4.6: stored answers, O(1) everything). Cumulative
+//! per-block counts form the partial-sum directory (the paper bootstraps
+//! another compressed bitvector for these; we store the O(n/L)-word arrays
+//! directly — the same o(n) bits, DESIGN.md substitution #3).
+//!
+//! Sealing a tail into RRR takes O(L/63) block pushes. In the default
+//! **de-amortized** mode (Lemma 4.8 / Thm 4.5 partial rebuilding) this work
+//! is spread over subsequent appends — a couple of RRR blocks per append —
+//! while the frozen raw tail keeps answering queries until the compressed
+//! block is ready, giving O(1) worst-case `Append`. The amortized mode seals
+//! eagerly (O(1) amortized, occasional O(L) hiccup), matching Lemma 4.7.
+
+use crate::broadword::select_in_word;
+use crate::rrr::{RrrBuilder, RrrVector, RRR_BLOCK_BITS};
+use crate::{BitAccess, BitRank, BitSelect, RawBitVec, SpaceUsage};
+
+/// Configuration for [`AppendBitVec`] (packed: one such struct lives in
+/// every Wavelet Trie node, so every byte counts toward the `PT` term).
+#[derive(Clone, Copy, Debug)]
+pub struct AppendConfig {
+    /// Sealed-block size in bits; must be a positive multiple of 63.
+    pub block_bits: u32,
+    /// RRR blocks built per append while a seal is in flight.
+    pub steps_per_append: u16,
+    /// Spread RRR construction over appends (worst-case O(1) `push`).
+    pub deamortize: bool,
+}
+
+impl Default for AppendConfig {
+    fn default() -> Self {
+        AppendConfig {
+            block_bits: 63 * 64, // 4032 bits
+            steps_per_append: 2,
+            deamortize: true,
+        }
+    }
+}
+
+/// Small explicit bitvector (Lemma 4.6): raw bits plus per-word cumulative
+/// ranks, so every operation is O(1) for the bounded sizes it is used at.
+#[derive(Clone, Debug, Default)]
+struct SmallTail {
+    bits: RawBitVec,
+    /// Cumulative ones before each *completed* word.
+    word_ranks: Vec<u32>,
+    ones: usize,
+}
+
+impl SmallTail {
+    /// Starts empty; storage grows with content so that short-lived node
+    /// bitvectors (the common case in a Wavelet Trie) stay tiny.
+    fn new() -> Self {
+        SmallTail::default()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    #[inline]
+    fn push(&mut self, bit: bool) {
+        if self.bits.len().is_multiple_of(64) {
+            self.word_ranks.push(self.ones as u32);
+        }
+        self.bits.push(bit);
+        self.ones += bit as usize;
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    #[inline]
+    fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len());
+        if i == self.len() {
+            return self.ones;
+        }
+        let w = i / 64;
+        let off = i % 64;
+        let mut r = self.word_ranks[w] as usize;
+        if off != 0 {
+            r += (self.bits.word(w) & ((1u64 << off) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    fn select(&self, bit: bool, k: usize) -> Option<usize> {
+        let total = if bit { self.ones } else { self.len() - self.ones };
+        if k >= total {
+            return None;
+        }
+        // Binary search completed words, then in-word select.
+        let count_before = |w: usize| {
+            let r1 = if w < self.word_ranks.len() {
+                self.word_ranks[w] as usize
+            } else {
+                self.ones
+            };
+            if bit {
+                r1
+            } else {
+                (w * 64).min(self.len()) - r1
+            }
+        };
+        let (mut lo, mut hi) = (0usize, self.len() / 64 + 1);
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if count_before(mid) <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut word = self.bits.word(lo);
+        if !bit {
+            word = !word;
+            let base = lo * 64;
+            let valid = self.len() - base;
+            if valid < 64 {
+                word &= (1u64 << valid) - 1;
+            }
+        }
+        let rem = (k - count_before(lo)) as u32;
+        Some(lo * 64 + select_in_word(word, rem) as usize)
+    }
+
+    fn size_bits(&self) -> usize {
+        self.bits.size_bits() + self.word_ranks.capacity() * 32 + 64
+    }
+}
+
+/// An in-flight seal: the frozen raw block still answers queries while its
+/// RRR encoding is built a few blocks per append.
+#[derive(Clone, Debug)]
+struct PendingSeal {
+    frozen: SmallTail,
+    builder: RrrBuilder,
+    /// Bits of `frozen` already fed to the builder.
+    fed: usize,
+}
+
+impl PendingSeal {
+    fn new(frozen: SmallTail) -> Self {
+        let builder = RrrBuilder::new(frozen.len());
+        PendingSeal { frozen, builder, fed: 0 }
+    }
+
+    /// Advances construction by up to `steps` RRR blocks; returns the
+    /// finished vector when complete.
+    fn step(&mut self, steps: usize) -> bool {
+        for _ in 0..steps {
+            if self.builder.is_complete() {
+                return true;
+            }
+            let width = RRR_BLOCK_BITS.min(self.frozen.len() - self.fed);
+            self.builder.push_block(self.frozen.bits.get_bits(self.fed, width));
+            self.fed += width;
+        }
+        self.builder.is_complete()
+    }
+
+    fn finish(mut self) -> RrrVector {
+        while !self.step(usize::MAX / 2) {}
+        self.builder.finish()
+    }
+}
+
+/// A sealed block plus the partial-sum directory entry pointing at it.
+#[derive(Clone, Debug)]
+struct SealedBlock {
+    /// Ones before this block (the cumulative directory of §4.1).
+    ones_before: u64,
+    rrr: RrrVector,
+}
+
+/// The append-only compressed bitvector of Theorem 4.5: O(1) `push`,
+/// `get`, `rank`; `select` in O(log(n/L)); space `nH0(β) + o(n)` bits.
+#[derive(Clone, Debug)]
+pub struct AppendBitVec {
+    cfg: AppendConfig,
+    sealed: Vec<SealedBlock>,
+    pending: Option<Box<PendingSeal>>,
+    tail: SmallTail,
+    len: usize,
+    ones: usize,
+}
+
+impl Default for AppendBitVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppendBitVec {
+    /// Creates an empty vector with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(AppendConfig::default())
+    }
+
+    /// Creates an empty vector with an explicit configuration.
+    ///
+    /// # Panics
+    /// If `block_bits` is not a positive multiple of 63, or
+    /// `steps_per_append` would not finish a seal before the next one starts.
+    pub fn with_config(cfg: AppendConfig) -> Self {
+        assert!(
+            cfg.block_bits > 0 && (cfg.block_bits as usize).is_multiple_of(RRR_BLOCK_BITS),
+            "block_bits must be a positive multiple of {RRR_BLOCK_BITS}"
+        );
+        if cfg.deamortize {
+            // A seal needs block_bits/63 steps and must complete within the
+            // block_bits appends that refill the tail.
+            assert!(
+                cfg.steps_per_append as usize * RRR_BLOCK_BITS >= 2,
+                "steps_per_append too small to de-amortize"
+            );
+        }
+        AppendBitVec {
+            cfg,
+            sealed: Vec::new(),
+            pending: None,
+            tail: SmallTail::new(),
+            len: 0,
+            ones: 0,
+        }
+    }
+
+    /// Builds by pushing every bit of `bits`.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Appends a bit (the `Append(b)` of §4.1).
+    pub fn push(&mut self, bit: bool) {
+        // Advance any in-flight seal first.
+        if let Some(p) = self.pending.as_mut() {
+            if p.step(self.cfg.steps_per_append as usize) {
+                let p = *self.pending.take().expect("pending");
+                self.complete_seal(p);
+            }
+        }
+        if self.tail.len() == self.cfg.block_bits as usize {
+            // Tail full: freeze it. Any still-pending seal must finish now
+            // (cannot happen with default parameters; guarded for safety).
+            if let Some(p) = self.pending.take() {
+                self.complete_seal(*p);
+            }
+            let frozen = std::mem::take(&mut self.tail);
+            if self.cfg.deamortize {
+                self.pending = Some(Box::new(PendingSeal::new(frozen)));
+            } else {
+                let seal = PendingSeal::new(frozen);
+                self.complete_seal(seal);
+            }
+        }
+        self.tail.push(bit);
+        self.len += 1;
+        self.ones += bit as usize;
+    }
+
+    fn complete_seal(&mut self, p: PendingSeal) {
+        let ones_before = self.ones_before_pending() as u64;
+        let rrr = p.finish();
+        self.sealed.push(SealedBlock { ones_before, rrr });
+    }
+
+    /// Ones before the region (pending + tail) that follows sealed blocks.
+    #[inline]
+    fn ones_before_pending(&self) -> usize {
+        self.sealed
+            .last()
+            .map_or(0, |b| b.ones_before as usize + b.rrr.count_ones())
+    }
+
+    #[inline]
+    fn sealed_bits(&self) -> usize {
+        self.sealed.len() * self.cfg.block_bits as usize
+    }
+
+    /// Bits covered by sealed blocks plus the frozen pending block.
+    #[inline]
+    fn stable_bits(&self) -> usize {
+        self.sealed_bits() + self.pending.as_ref().map_or(0, |p| p.frozen.len())
+    }
+
+    fn select_generic(&self, bit: bool, k: usize) -> Option<usize> {
+        let total = if bit { self.ones } else { self.len - self.ones };
+        if k >= total {
+            return None;
+        }
+        let block_bits = self.cfg.block_bits as usize;
+        let count_before = |i: usize| {
+            let r1 = if i == self.sealed.len() {
+                self.ones_before_pending()
+            } else {
+                self.sealed[i].ones_before as usize
+            };
+            if bit {
+                r1
+            } else {
+                i * block_bits - r1
+            }
+        };
+        // Binary search sealed blocks.
+        let (mut lo, mut hi) = (0usize, self.sealed.len() + 1);
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if count_before(mid) <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.sealed.len() && count_before(lo + 1) > k {
+            let rem = k - count_before(lo);
+            let p = self.sealed[lo].rrr.select(bit, rem).expect("in-block select");
+            return Some(lo * block_bits + p);
+        }
+        // Target is in the pending frozen block or the tail.
+        let mut rem = k - count_before(self.sealed.len());
+        let mut base = self.sealed_bits();
+        if let Some(p) = self.pending.as_ref() {
+            let in_frozen = if bit {
+                p.frozen.ones
+            } else {
+                p.frozen.len() - p.frozen.ones
+            };
+            if rem < in_frozen {
+                return Some(base + p.frozen.select(bit, rem).expect("frozen select"));
+            }
+            rem -= in_frozen;
+            base += p.frozen.len();
+        }
+        self.tail.select(bit, rem).map(|p| base + p)
+    }
+}
+
+impl BitAccess for AppendBitVec {
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let block_bits = self.cfg.block_bits as usize;
+        if i < self.sealed_bits() {
+            return self.sealed[i / block_bits].rrr.get(i % block_bits);
+        }
+        let stable = self.stable_bits();
+        if i < stable {
+            let p = self.pending.as_ref().expect("pending covers this range");
+            return p.frozen.get(i - self.sealed_bits());
+        }
+        self.tail.get(i - stable)
+    }
+}
+
+impl BitRank for AppendBitVec {
+    fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of bounds (len {})", self.len);
+        let block_bits = self.cfg.block_bits as usize;
+        if i < self.sealed_bits() {
+            let b = i / block_bits;
+            return self.sealed[b].ones_before as usize + self.sealed[b].rrr.rank1(i % block_bits);
+        }
+        let mut r = self.ones_before_pending();
+        let mut rem = i - self.sealed_bits();
+        if let Some(p) = self.pending.as_ref() {
+            if rem <= p.frozen.len() {
+                return r + p.frozen.rank1(rem);
+            }
+            r += p.frozen.ones;
+            rem -= p.frozen.len();
+        }
+        r + self.tail.rank1(rem)
+    }
+
+    #[inline]
+    fn count_ones(&self) -> usize {
+        self.ones
+    }
+}
+
+impl BitSelect for AppendBitVec {
+    #[inline]
+    fn select1(&self, k: usize) -> Option<usize> {
+        self.select_generic(true, k)
+    }
+
+    #[inline]
+    fn select0(&self, k: usize) -> Option<usize> {
+        self.select_generic(false, k)
+    }
+}
+
+impl SpaceUsage for AppendBitVec {
+    fn size_bits(&self) -> usize {
+        self.sealed
+            .iter()
+            .map(|b| b.rrr.size_bits() + 64)
+            .sum::<usize>()
+            + self.pending.as_ref().map_or(0, |p| {
+                p.frozen.size_bits() + p.builder.total_blocks() * 70 // in-flight bound
+            })
+            + self.tail.size_bits()
+            + 4 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_check(pattern: impl Iterator<Item = bool>, cfg: AppendConfig) {
+        let mut v = AppendBitVec::with_config(cfg);
+        let mut model = Vec::new();
+        for b in pattern {
+            v.push(b);
+            model.push(b);
+        }
+        assert_eq!(v.len(), model.len());
+        let ones: usize = model.iter().filter(|&&b| b).count();
+        assert_eq!(v.count_ones(), ones);
+        let step = (model.len() / 300).max(1);
+        let mut cum = 0usize;
+        let mut cums = vec![0usize];
+        for &b in &model {
+            cum += b as usize;
+            cums.push(cum);
+        }
+        for i in (0..=model.len()).step_by(step) {
+            assert_eq!(v.rank1(i), cums[i], "rank1({i})");
+        }
+        for i in (0..model.len()).step_by(step) {
+            assert_eq!(v.get(i), model[i], "get({i})");
+        }
+        for k in (0..ones).step_by((ones / 200).max(1)) {
+            let p = v.select1(k).unwrap();
+            assert!(model[p], "select1({k}) -> {p}");
+            assert_eq!(cums[p], k);
+        }
+        assert_eq!(v.select1(ones), None);
+        let zeros = model.len() - ones;
+        for k in (0..zeros).step_by((zeros / 200).max(1)) {
+            let p = v.select0(k).unwrap();
+            assert!(!model[p], "select0({k}) -> {p}");
+            assert_eq!(p - cums[p], k);
+        }
+        assert_eq!(v.select0(zeros), None);
+    }
+
+    #[test]
+    fn deamortized_default() {
+        model_check((0..30_000).map(|i| i % 3 == 0), AppendConfig::default());
+    }
+
+    #[test]
+    fn amortized_mode() {
+        let cfg = AppendConfig {
+            deamortize: false,
+            ..AppendConfig::default()
+        };
+        model_check((0..30_000).map(|i| i % 7 < 2), cfg);
+    }
+
+    #[test]
+    fn tiny_blocks_force_many_seals() {
+        let cfg = AppendConfig {
+            block_bits: 63,
+            deamortize: true,
+            steps_per_append: 2,
+        };
+        model_check((0..5_000).map(|i| (i * i) % 5 == 0), cfg);
+    }
+
+    #[test]
+    fn queries_mid_pending_seal() {
+        // Probe immediately after a seal starts, while the builder is mid-flight.
+        let cfg = AppendConfig {
+            block_bits: 63 * 64,
+            deamortize: true,
+            steps_per_append: 1,
+        };
+        let mut v = AppendBitVec::with_config(cfg);
+        let n = cfg.block_bits as usize + 10;
+        for i in 0..n {
+            v.push(i % 2 == 0);
+        }
+        assert!(v.pending.is_some(), "seal should be in flight");
+        assert_eq!(v.rank1(cfg.block_bits as usize), cfg.block_bits as usize / 2);
+        assert_eq!(v.rank1(n), n / 2);
+        assert!(v.get(0));
+        assert_eq!(v.select1(10), Some(20));
+        assert_eq!(v.select0(10), Some(21));
+    }
+
+    #[test]
+    fn all_same_bit() {
+        model_check(std::iter::repeat_n(true, 10_000), AppendConfig::default());
+        model_check(std::iter::repeat_n(false, 10_000), AppendConfig::default());
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = AppendBitVec::new();
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.rank1(0), 0);
+        assert_eq!(v.select1(0), None);
+        assert_eq!(v.select0(0), None);
+    }
+
+    #[test]
+    fn compression_near_entropy() {
+        // Long runs: entropy tiny, structure should stay well below plain size.
+        let n = 200_000;
+        let mut v = AppendBitVec::new();
+        for i in 0..n {
+            v.push((i / 1000) % 2 == 0);
+        }
+        let bits = v.size_bits();
+        assert!(
+            bits < n / 2,
+            "append-only bitvector should compress runs: {bits} bits for {n}"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Broadword (word-parallel) bit primitives.
+//!
+//! The only non-trivial primitive needed by the rank/select structures is
+//! in-word select, answered by popcount-guided binary search over word
+//! halves — branch-light and table-free.
+
+/// Position (0-based) of the `k`-th (0-based) set bit of `x`.
+///
+/// # Panics
+/// Debug-panics if `x` has at most `k` set bits; in release the result is
+/// unspecified (but in-range) in that case.
+#[inline]
+pub fn select_in_word(mut x: u64, mut k: u32) -> u32 {
+    debug_assert!(x.count_ones() > k, "select_in_word: not enough ones");
+    let mut pos = 0u32;
+    let c = (x as u32).count_ones();
+    if k >= c {
+        x >>= 32;
+        pos += 32;
+        k -= c;
+    }
+    let c = (x as u16 as u32).count_ones();
+    if k >= c {
+        x >>= 16;
+        pos += 16;
+        k -= c;
+    }
+    let c = (x as u8 as u32).count_ones();
+    if k >= c {
+        x >>= 8;
+        pos += 8;
+        k -= c;
+    }
+    let c = ((x & 0xF) as u32).count_ones();
+    if k >= c {
+        x >>= 4;
+        pos += 4;
+        k -= c;
+    }
+    let c = ((x & 0x3) as u32).count_ones();
+    if k >= c {
+        x >>= 2;
+        pos += 2;
+        k -= c;
+    }
+    if k >= (x & 1) as u32 {
+        pos += 1;
+    }
+    pos
+}
+
+/// Position of the `k`-th zero bit of `x` (i.e. select over the complement).
+#[inline]
+pub fn select_zero_in_word(x: u64, k: u32) -> u32 {
+    select_in_word(!x, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_select(x: u64, k: u32) -> Option<u32> {
+        let mut seen = 0;
+        for i in 0..64 {
+            if (x >> i) & 1 != 0 {
+                if seen == k {
+                    return Some(i);
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn select_matches_naive_on_patterns() {
+        let patterns = [
+            1u64,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x5555_5555_5555_5555,
+            0xF0F0_F0F0_0F0F_0F0F,
+            0x0123_4567_89AB_CDEF,
+            0x8000_0000_0000_0001,
+        ];
+        for &p in &patterns {
+            for k in 0..p.count_ones() {
+                assert_eq!(select_in_word(p, k), naive_select(p, k).unwrap(), "p={p:#x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_matches_naive_pseudorandom() {
+        // xorshift so the test needs no RNG dependency
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..2000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let ones = s.count_ones();
+            if ones == 0 {
+                continue;
+            }
+            let k = (s >> 32) as u32 % ones;
+            assert_eq!(select_in_word(s, k), naive_select(s, k).unwrap());
+        }
+    }
+
+    #[test]
+    fn select_zero_is_select_of_complement() {
+        let x = 0xF0F0_F0F0_F0F0_F0F0u64;
+        for k in 0..32 {
+            assert_eq!(select_zero_in_word(x, k), naive_select(!x, k).unwrap());
+        }
+    }
+}

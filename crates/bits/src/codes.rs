@@ -1,0 +1,207 @@
+//! Elias universal codes [Elias'75], used by the fully dynamic bitvector
+//! (§4.2: runs are encoded with Elias γ) and available for experimentation
+//! with δ as in the gap-encoded bitvector of [Mäkinen–Navarro'08].
+//!
+//! Conventions (LSB-first bit order of [`RawBitVec`]):
+//! * γ(x), x ≥ 1: with N = ⌊log₂ x⌋, write N zeros, then the N+1 significant
+//!   bits of x starting with the leading 1.
+//! * δ(x), x ≥ 1: write γ(N+1), then the N low bits of x.
+
+use crate::RawBitVec;
+
+/// Length in bits of the γ code of `x` (`x >= 1`).
+#[inline]
+pub fn gamma_len(x: u64) -> usize {
+    debug_assert!(x >= 1);
+    2 * (63 - x.leading_zeros() as usize) + 1
+}
+
+/// Length in bits of the δ code of `x` (`x >= 1`).
+#[inline]
+pub fn delta_len(x: u64) -> usize {
+    debug_assert!(x >= 1);
+    let n = 63 - x.leading_zeros() as usize;
+    gamma_len(n as u64 + 1) + n
+}
+
+/// Appends the γ code of `x >= 1` to `out`.
+pub fn gamma_encode(out: &mut RawBitVec, x: u64) {
+    debug_assert!(x >= 1);
+    let n = 63 - x.leading_zeros() as usize;
+    out.push_bits(0, n); // N zeros
+    // N+1 significant bits; we emit them LSB-first with the top bit last so
+    // the decoder (which reads the marker 1 first) sees MSB-first order.
+    // Simpler: emit the marker 1, then the N low bits LSB-first, and have the
+    // decoder mirror this.
+    out.push(true);
+    if n > 0 {
+        out.push_bits(x & ((1u64 << n) - 1), n);
+    }
+}
+
+/// Appends the δ code of `x >= 1` to `out`.
+pub fn delta_encode(out: &mut RawBitVec, x: u64) {
+    debug_assert!(x >= 1);
+    let n = 63 - x.leading_zeros() as usize;
+    gamma_encode(out, n as u64 + 1);
+    if n > 0 {
+        out.push_bits(x & ((1u64 << n) - 1), n);
+    }
+}
+
+/// A cursor for sequentially decoding codes out of a [`RawBitVec`].
+#[derive(Clone, Copy, Debug)]
+pub struct BitReader<'a> {
+    bits: &'a RawBitVec,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading at bit `pos`.
+    #[inline]
+    pub fn new(bits: &'a RawBitVec, pos: usize) -> Self {
+        Self { bits, pos }
+    }
+
+    /// Current bit position.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the cursor reached the end.
+    #[inline]
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.bits.len()
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> bool {
+        let b = self.bits.get(self.pos);
+        self.pos += 1;
+        b
+    }
+
+    /// Reads `width <= 64` bits LSB-first.
+    #[inline]
+    pub fn read_bits(&mut self, width: usize) -> u64 {
+        let v = self.bits.get_bits(self.pos, width);
+        self.pos += width;
+        v
+    }
+
+    /// Counts zeros up to (not including) the next 1, consuming it too.
+    #[inline]
+    pub fn read_unary(&mut self) -> usize {
+        let mut n = 0;
+        while !self.read_bit() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Decodes one γ code.
+    #[inline]
+    pub fn read_gamma(&mut self) -> u64 {
+        let n = self.read_unary();
+        let low = if n > 0 { self.read_bits(n) } else { 0 };
+        (1u64 << n) | low
+    }
+
+    /// Decodes one δ code.
+    #[inline]
+    pub fn read_delta(&mut self) -> u64 {
+        let n = self.read_gamma() - 1;
+        let low = if n > 0 { self.read_bits(n as usize) } else { 0 };
+        (1u64 << n) | low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_roundtrip_exhaustive_small() {
+        let mut bv = RawBitVec::new();
+        for x in 1..=2000u64 {
+            gamma_encode(&mut bv, x);
+        }
+        let mut r = BitReader::new(&bv, 0);
+        for x in 1..=2000u64 {
+            assert_eq!(r.read_gamma(), x);
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn delta_roundtrip_exhaustive_small() {
+        let mut bv = RawBitVec::new();
+        for x in 1..=2000u64 {
+            delta_encode(&mut bv, x);
+        }
+        let mut r = BitReader::new(&bv, 0);
+        for x in 1..=2000u64 {
+            assert_eq!(r.read_delta(), x);
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn roundtrip_large_values() {
+        let vals = [
+            1u64,
+            2,
+            3,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+        ];
+        let mut bv = RawBitVec::new();
+        for &x in &vals {
+            gamma_encode(&mut bv, x);
+            delta_encode(&mut bv, x);
+        }
+        let mut r = BitReader::new(&bv, 0);
+        for &x in &vals {
+            assert_eq!(r.read_gamma(), x, "gamma {x}");
+            assert_eq!(r.read_delta(), x, "delta {x}");
+        }
+    }
+
+    #[test]
+    fn lengths_match_encoding() {
+        for x in (1..5000u64).step_by(7).chain([u64::MAX, 1 << 40]) {
+            let mut bv = RawBitVec::new();
+            gamma_encode(&mut bv, x);
+            assert_eq!(bv.len(), gamma_len(x), "gamma_len({x})");
+            let mut bv = RawBitVec::new();
+            delta_encode(&mut bv, x);
+            assert_eq!(bv.len(), delta_len(x), "delta_len({x})");
+        }
+    }
+
+    #[test]
+    fn gamma_is_shorter_for_small_delta_for_large() {
+        // sanity on asymptotics: γ(small) compact, δ(large) beats γ(large)
+        assert_eq!(gamma_len(1), 1);
+        assert_eq!(gamma_len(2), 3);
+        assert_eq!(gamma_len(3), 3);
+        assert_eq!(gamma_len(4), 5);
+        assert!(delta_len(u64::MAX) < gamma_len(u64::MAX));
+    }
+
+    #[test]
+    fn reader_resumes_mid_stream() {
+        let mut bv = RawBitVec::new();
+        gamma_encode(&mut bv, 42);
+        let mark = bv.len();
+        gamma_encode(&mut bv, 999);
+        let mut r = BitReader::new(&bv, mark);
+        assert_eq!(r.read_gamma(), 999);
+    }
+}

@@ -1,0 +1,847 @@
+//! Fully dynamic RLE+γ compressed bitvector (§4.2 of the paper, Thm 4.9).
+//!
+//! The bitvector `0^r0 1^r1 0^r2 …` is stored as its run lengths, each run
+//! encoded with an Elias γ code, grouped into small chunks; a counted
+//! B+-tree over the chunks stores (bits, ones) subtree counts. All of
+//! Access/Rank/Select/Insert/Delete run in O(log n) plus O(chunk) decoding
+//! work, and crucially `Init(b, n)` — creating a constant bitvector of
+//! arbitrary length — is O(1): a single chunk holding one run (this is the
+//! property Remark 4.2 demands and which gap-encoded bitvectors lack).
+//!
+//! The paper plugs RLE+γ into the balanced-BST chunk tree of
+//! [Mäkinen–Navarro'08 §3.4]; we use a counted B+-tree, the standard
+//! engineered equivalent with identical asymptotics (DESIGN.md
+//! substitution #2). Space is O(nH0) bits by [Foschini–Grossi–Gupta–
+//! Vitter'06] (their Theorem for RLE+γ), as cited by the paper.
+
+use crate::codes::{gamma_encode, BitReader};
+use crate::{BitAccess, BitRank, BitSelect, RawBitVec, SpaceUsage};
+
+/// Maximum runs per chunk before it splits. Larger chunks amortize the
+/// per-chunk struct overhead (which dominates for dense bitvectors) while
+/// keeping per-edit decode work bounded.
+const MAX_RUNS: usize = 128;
+/// Two neighbouring leaves merge when their combined runs fit this bound.
+const MERGE_RUNS: usize = MAX_RUNS / 2;
+/// Maximum children per internal node before it splits.
+const MAX_FANOUT: usize = 16;
+
+/// A chunk of consecutive runs, γ-encoded.
+#[derive(Clone, Debug, Default)]
+struct Chunk {
+    /// γ codes of the run lengths, alternating bits starting at `first_bit`.
+    enc: RawBitVec,
+    first_bit: bool,
+    nruns: u32,
+    nbits: u64,
+    nones: u64,
+}
+
+impl Chunk {
+    fn from_runs(first_bit: bool, runs: &[u64]) -> Self {
+        debug_assert!(runs.iter().all(|&r| r > 0));
+        let mut enc = RawBitVec::with_capacity(runs.len() * 8);
+        let mut nbits = 0u64;
+        let mut nones = 0u64;
+        for (i, &r) in runs.iter().enumerate() {
+            gamma_encode(&mut enc, r);
+            nbits += r;
+            if (i % 2 == 0) == first_bit {
+                nones += r;
+            }
+        }
+        Chunk {
+            enc,
+            first_bit,
+            nruns: runs.len() as u32,
+            nbits,
+            nones,
+        }
+    }
+
+    fn decode_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        let mut r = BitReader::new(&self.enc, 0);
+        for _ in 0..self.nruns {
+            out.push(r.read_gamma());
+        }
+    }
+
+    /// Bit value of run `i`.
+    #[inline]
+    fn run_bit(&self, i: usize) -> bool {
+        self.first_bit == i.is_multiple_of(2)
+    }
+
+    /// (bit at `pos`, ones in `[0, pos)`).
+    fn locate(&self, pos: u64) -> (bool, u64) {
+        debug_assert!(pos < self.nbits);
+        let mut r = BitReader::new(&self.enc, 0);
+        let mut seen = 0u64;
+        let mut ones = 0u64;
+        for i in 0..self.nruns as usize {
+            let run = r.read_gamma();
+            if pos < seen + run {
+                let bit = self.run_bit(i);
+                return (bit, ones + if bit { pos - seen } else { 0 });
+            }
+            seen += run;
+            if self.run_bit(i) {
+                ones += run;
+            }
+        }
+        unreachable!("pos within chunk");
+    }
+
+    fn rank1(&self, pos: u64) -> u64 {
+        debug_assert!(pos <= self.nbits);
+        if pos == self.nbits {
+            return self.nones;
+        }
+        let (bit, ones) = self.locate(pos);
+        let _ = bit;
+        ones
+    }
+
+    /// Position of the `k`-th bit equal to `bit` (guaranteed to exist).
+    fn select(&self, bit: bool, k: u64) -> u64 {
+        debug_assert!(k < if bit { self.nones } else { self.nbits - self.nones });
+        let mut r = BitReader::new(&self.enc, 0);
+        let mut seen = 0u64;
+        let mut matched = 0u64;
+        for i in 0..self.nruns as usize {
+            let run = r.read_gamma();
+            if self.run_bit(i) == bit {
+                if k < matched + run {
+                    return seen + (k - matched);
+                }
+                matched += run;
+            }
+            seen += run;
+        }
+        unreachable!("k within chunk");
+    }
+
+    /// Inserts `bit` at `pos <= nbits`, editing the run list.
+    fn insert(&mut self, pos: u64, bit: bool, scratch: &mut Vec<u64>) {
+        if self.nruns == 0 {
+            *self = Chunk::from_runs(bit, &[1]);
+            return;
+        }
+        self.decode_into(scratch);
+        let runs = scratch;
+        // Find run containing pos, treating pos == nbits as "after the end".
+        let mut seen = 0u64;
+        let mut idx = runs.len(); // sentinel: append
+        for (i, &r) in runs.iter().enumerate() {
+            if pos < seen + r {
+                idx = i;
+                break;
+            }
+            seen += r;
+        }
+        if idx == runs.len() {
+            // Append at the very end.
+            let last = runs.len() - 1;
+            if self.run_bit(last) == bit {
+                runs[last] += 1;
+            } else {
+                runs.push(1);
+            }
+        } else if self.run_bit(idx) == bit {
+            runs[idx] += 1;
+        } else if pos == seen {
+            // At the boundary before run idx: extend the previous run
+            // (same bit), or create a new first run.
+            if idx > 0 {
+                runs[idx - 1] += 1;
+            } else {
+                runs.insert(0, 1);
+                self.first_bit = bit;
+            }
+        } else {
+            // Strictly inside a run of the opposite bit: split it.
+            let off = pos - seen;
+            let rest = runs[idx] - off;
+            runs[idx] = off;
+            runs.insert(idx + 1, 1);
+            runs.insert(idx + 2, rest);
+        }
+        let fb = self.first_bit;
+        *self = Chunk::from_runs(fb, runs);
+    }
+
+    /// Deletes the bit at `pos`, returning it.
+    fn delete(&mut self, pos: u64, scratch: &mut Vec<u64>) -> bool {
+        debug_assert!(pos < self.nbits);
+        self.decode_into(scratch);
+        let runs = scratch;
+        let mut seen = 0u64;
+        let mut idx = 0usize;
+        for (i, &r) in runs.iter().enumerate() {
+            if pos < seen + r {
+                idx = i;
+                break;
+            }
+            seen += r;
+        }
+        let bit = self.run_bit(idx);
+        runs[idx] -= 1;
+        if runs[idx] == 0 {
+            runs.remove(idx);
+            if idx == 0 {
+                self.first_bit = !self.first_bit;
+            } else if idx < runs.len() {
+                // Neighbours idx-1 and idx now adjacent with the same bit.
+                runs[idx - 1] += runs[idx];
+                runs.remove(idx);
+            }
+        }
+        if runs.is_empty() {
+            *self = Chunk::default();
+            return bit;
+        }
+        let fb = self.first_bit;
+        *self = Chunk::from_runs(fb, runs);
+        bit
+    }
+
+    /// Splits into two chunks of roughly equal run counts.
+    fn split(&mut self, scratch: &mut Vec<u64>) -> Chunk {
+        self.decode_into(scratch);
+        let runs = scratch;
+        let mid = runs.len() / 2;
+        let right_first = self.run_bit(mid);
+        let right = Chunk::from_runs(right_first, &runs[mid..]);
+        let fb = self.first_bit;
+        *self = Chunk::from_runs(fb, &runs[..mid]);
+        right
+    }
+
+    /// Appends all runs of `other` (used for leaf merging).
+    fn merge(&mut self, other: &Chunk, scratch: &mut Vec<u64>) {
+        if other.nruns == 0 {
+            return;
+        }
+        if self.nruns == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.decode_into(scratch);
+        let mut runs = std::mem::take(scratch);
+        let mut tmp = Vec::with_capacity(other.nruns as usize);
+        other.decode_into(&mut tmp);
+        if self.run_bit(self.nruns as usize - 1) == other.first_bit {
+            *runs.last_mut().expect("nonempty") += tmp[0];
+            runs.extend_from_slice(&tmp[1..]);
+        } else {
+            runs.extend_from_slice(&tmp);
+        }
+        let fb = self.first_bit;
+        *self = Chunk::from_runs(fb, &runs);
+        *scratch = runs;
+    }
+
+    fn size_bits(&self) -> usize {
+        self.enc.size_bits() + 3 * 64 + 2 * 32
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf(Chunk),
+    Internal(Internal),
+}
+
+#[derive(Clone, Debug)]
+struct Internal {
+    children: Vec<Node>,
+    nbits: u64,
+    nones: u64,
+}
+
+impl Node {
+    #[inline]
+    fn nbits(&self) -> u64 {
+        match self {
+            Node::Leaf(c) => c.nbits,
+            Node::Internal(i) => i.nbits,
+        }
+    }
+
+    #[inline]
+    fn nones(&self) -> u64 {
+        match self {
+            Node::Leaf(c) => c.nones,
+            Node::Internal(i) => i.nones,
+        }
+    }
+
+    fn locate(&self, pos: u64) -> (bool, u64) {
+        match self {
+            Node::Leaf(c) => c.locate(pos),
+            Node::Internal(i) => {
+                let mut pos = pos;
+                let mut ones = 0u64;
+                for ch in &i.children {
+                    if pos < ch.nbits() {
+                        let (b, o) = ch.locate(pos);
+                        return (b, ones + o);
+                    }
+                    pos -= ch.nbits();
+                    ones += ch.nones();
+                }
+                unreachable!("pos within node");
+            }
+        }
+    }
+
+    fn rank1(&self, pos: u64) -> u64 {
+        match self {
+            Node::Leaf(c) => c.rank1(pos),
+            Node::Internal(i) => {
+                if pos == i.nbits {
+                    return i.nones;
+                }
+                let mut pos = pos;
+                let mut ones = 0u64;
+                for ch in &i.children {
+                    if pos <= ch.nbits() {
+                        return ones + ch.rank1(pos);
+                    }
+                    pos -= ch.nbits();
+                    ones += ch.nones();
+                }
+                unreachable!("pos within node");
+            }
+        }
+    }
+
+    fn select(&self, bit: bool, k: u64) -> u64 {
+        match self {
+            Node::Leaf(c) => c.select(bit, k),
+            Node::Internal(i) => {
+                let mut k = k;
+                let mut base = 0u64;
+                for ch in &i.children {
+                    let have = if bit {
+                        ch.nones()
+                    } else {
+                        ch.nbits() - ch.nones()
+                    };
+                    if k < have {
+                        return base + ch.select(bit, k);
+                    }
+                    k -= have;
+                    base += ch.nbits();
+                }
+                unreachable!("k within node");
+            }
+        }
+    }
+
+    /// Inserts; returns a new right sibling if this node split.
+    fn insert(&mut self, pos: u64, bit: bool, scratch: &mut Vec<u64>) -> Option<Node> {
+        match self {
+            Node::Leaf(c) => {
+                c.insert(pos, bit, scratch);
+                if c.nruns as usize > MAX_RUNS {
+                    Some(Node::Leaf(c.split(scratch)))
+                } else {
+                    None
+                }
+            }
+            Node::Internal(node) => {
+                node.nbits += 1;
+                node.nones += bit as u64;
+                let mut pos = pos;
+                let mut idx = node.children.len() - 1;
+                for (i, ch) in node.children.iter().enumerate() {
+                    // `<=` so appends go into the last child covering pos.
+                    if pos <= ch.nbits() {
+                        idx = i;
+                        break;
+                    }
+                    pos -= ch.nbits();
+                }
+                if let Some(split) = node.children[idx].insert(pos, bit, scratch) {
+                    node.children.insert(idx + 1, split);
+                    if node.children.len() > MAX_FANOUT {
+                        let right_children: Vec<Node> =
+                            node.children.split_off(node.children.len() / 2);
+                        let rb: u64 = right_children.iter().map(|c| c.nbits()).sum();
+                        let ro: u64 = right_children.iter().map(|c| c.nones()).sum();
+                        node.nbits -= rb;
+                        node.nones -= ro;
+                        return Some(Node::Internal(Internal {
+                            children: right_children,
+                            nbits: rb,
+                            nones: ro,
+                        }));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Deletes the bit at `pos`, returning it.
+    fn delete(&mut self, pos: u64, scratch: &mut Vec<u64>) -> bool {
+        match self {
+            Node::Leaf(c) => c.delete(pos, scratch),
+            Node::Internal(node) => {
+                let mut pos = pos;
+                let mut idx = 0usize;
+                for (i, ch) in node.children.iter().enumerate() {
+                    if pos < ch.nbits() {
+                        idx = i;
+                        break;
+                    }
+                    pos -= ch.nbits();
+                }
+                let bit = node.children[idx].delete(pos, scratch);
+                node.nbits -= 1;
+                node.nones -= bit as u64;
+                // Drop empty children; opportunistically merge small leaves.
+                if node.children[idx].nbits() == 0 {
+                    node.children.remove(idx);
+                } else if idx + 1 < node.children.len() {
+                    Self::try_merge_leaves(&mut node.children, idx, scratch);
+                } else if idx > 0 {
+                    Self::try_merge_leaves(&mut node.children, idx - 1, scratch);
+                }
+                bit
+            }
+        }
+    }
+
+    fn try_merge_leaves(children: &mut Vec<Node>, i: usize, scratch: &mut Vec<u64>) {
+        if i + 1 >= children.len() {
+            return;
+        }
+        let combined = match (&children[i], &children[i + 1]) {
+            (Node::Leaf(a), Node::Leaf(b)) => a.nruns as usize + b.nruns as usize,
+            _ => return,
+        };
+        if combined > MERGE_RUNS {
+            return;
+        }
+        let right = children.remove(i + 1);
+        if let (Node::Leaf(a), Node::Leaf(b)) = (&mut children[i], &right) {
+            a.merge(b, scratch);
+        }
+    }
+
+    fn size_bits(&self) -> usize {
+        match self {
+            Node::Leaf(c) => c.size_bits(),
+            Node::Internal(i) => {
+                i.children.iter().map(|c| c.size_bits()).sum::<usize>()
+                    + i.children.capacity() * (std::mem::size_of::<Node>() * 8)
+                    + 2 * 64
+            }
+        }
+    }
+}
+
+/// The fully dynamic bitvector of Theorem 4.9.
+///
+/// Supports `Access`, `Rank`, `Select`, `Insert`, `Delete` in O(log n) and
+/// `Init(b, n)` ([`DynamicBitVec::filled`]) in O(1); space O(nH0 + log n).
+#[derive(Clone, Debug)]
+pub struct DynamicBitVec {
+    root: Node,
+}
+
+thread_local! {
+    /// Shared run-decode buffer: per-edit work never exceeds a chunk, so a
+    /// single thread-local buffer avoids a ~MAX_RUNS·8-byte allocation in
+    /// every node bitvector of a Wavelet Trie.
+    static SCRATCH: std::cell::RefCell<Vec<u64>> = std::cell::RefCell::new(Vec::with_capacity(MAX_RUNS + 2));
+}
+
+impl Default for DynamicBitVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynamicBitVec {
+    /// Creates an empty bitvector.
+    pub fn new() -> Self {
+        DynamicBitVec {
+            root: Node::Leaf(Chunk::default()),
+        }
+    }
+
+    /// `Init(b, n)` (§4.2): a bitvector of `n` copies of `bit`, in O(1).
+    pub fn filled(bit: bool, n: usize) -> Self {
+        let chunk = if n == 0 {
+            Chunk::default()
+        } else {
+            Chunk::from_runs(bit, &[n as u64])
+        };
+        DynamicBitVec { root: Node::Leaf(chunk) }
+    }
+
+    /// Builds by repeated insertion at the end.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Inserts `bit` at position `pos <= len`.
+    pub fn insert(&mut self, pos: usize, bit: bool) {
+        assert!(pos as u64 <= self.root.nbits(), "insert position out of bounds");
+        let split = SCRATCH.with(|sc| self.root.insert(pos as u64, bit, &mut sc.borrow_mut()));
+        if let Some(split) = split {
+            let old = std::mem::replace(&mut self.root, Node::Leaf(Chunk::default()));
+            let nbits = old.nbits() + split.nbits();
+            let nones = old.nones() + split.nones();
+            self.root = Node::Internal(Internal {
+                children: vec![old, split],
+                nbits,
+                nones,
+            });
+        }
+    }
+
+    /// Appends `bit`.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        self.insert(self.len(), bit);
+    }
+
+    /// Deletes and returns the bit at `pos < len`.
+    pub fn remove(&mut self, pos: usize) -> bool {
+        assert!((pos as u64) < self.root.nbits(), "delete position out of bounds");
+        let bit = SCRATCH.with(|sc| self.root.delete(pos as u64, &mut sc.borrow_mut()));
+        // Collapse a single-child root so height can shrink.
+        loop {
+            let replace = match &mut self.root {
+                Node::Internal(i) if i.children.len() == 1 => i.children.pop().expect("child"),
+                _ => break,
+            };
+            self.root = replace;
+        }
+        bit
+    }
+
+    /// (bit at `pos`, ones before `pos`) in one descent.
+    #[inline]
+    pub fn access_rank(&self, pos: usize) -> (bool, usize) {
+        assert!((pos as u64) < self.root.nbits());
+        let (b, o) = self.root.locate(pos as u64);
+        (b, o as usize)
+    }
+
+    /// Iterates over all bits (O(1) amortized per bit).
+    pub fn iter(&self) -> DynBitIter<'_> {
+        DynBitIter::new(self)
+    }
+}
+
+/// Run-aware iterator over a [`DynamicBitVec`].
+pub struct DynBitIter<'a> {
+    stack: Vec<(&'a Node, usize)>,
+    current_bit: bool,
+    remaining_in_run: u64,
+    reader_chunk: Option<(&'a Chunk, usize, usize)>, // chunk, enc bit pos, run idx
+}
+
+impl<'a> DynBitIter<'a> {
+    fn new(v: &'a DynamicBitVec) -> Self {
+        let mut it = DynBitIter {
+            stack: vec![(&v.root, 0)],
+            current_bit: false,
+            remaining_in_run: 0,
+            reader_chunk: None,
+        };
+        it.advance_chunk();
+        it
+    }
+
+    fn advance_chunk(&mut self) {
+        self.reader_chunk = None;
+        while let Some((node, idx)) = self.stack.pop() {
+            match node {
+                Node::Leaf(c) => {
+                    if c.nruns > 0 {
+                        self.reader_chunk = Some((c, 0, 0));
+                        let mut r = BitReader::new(&c.enc, 0);
+                        self.remaining_in_run = r.read_gamma();
+                        self.current_bit = c.first_bit;
+                        self.reader_chunk = Some((c, r.pos(), 0));
+                        return;
+                    }
+                }
+                Node::Internal(i) => {
+                    if idx < i.children.len() {
+                        self.stack.push((node, idx + 1));
+                        self.stack.push((&i.children[idx], 0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for DynBitIter<'a> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        loop {
+            if self.remaining_in_run > 0 {
+                self.remaining_in_run -= 1;
+                return Some(self.current_bit);
+            }
+            let (chunk, pos, run_idx) = self.reader_chunk?;
+            if run_idx + 1 < chunk.nruns as usize {
+                let mut r = BitReader::new(&chunk.enc, pos);
+                self.remaining_in_run = r.read_gamma();
+                self.current_bit = !self.current_bit;
+                self.reader_chunk = Some((chunk, r.pos(), run_idx + 1));
+            } else {
+                self.advance_chunk();
+                self.reader_chunk?;
+            }
+        }
+    }
+}
+
+impl BitAccess for DynamicBitVec {
+    #[inline]
+    fn len(&self) -> usize {
+        self.root.nbits() as usize
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.access_rank(i).0
+    }
+}
+
+impl BitRank for DynamicBitVec {
+    #[inline]
+    fn rank1(&self, i: usize) -> usize {
+        assert!(i as u64 <= self.root.nbits(), "rank index out of bounds");
+        self.root.rank1(i as u64) as usize
+    }
+
+    #[inline]
+    fn count_ones(&self) -> usize {
+        self.root.nones() as usize
+    }
+}
+
+impl BitSelect for DynamicBitVec {
+    fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.count_ones() {
+            return None;
+        }
+        Some(self.root.select(true, k as u64) as usize)
+    }
+
+    fn select0(&self, k: usize) -> Option<usize> {
+        if k >= self.len() - self.count_ones() {
+            return None;
+        }
+        Some(self.root.select(false, k as u64) as usize)
+    }
+}
+
+impl SpaceUsage for DynamicBitVec {
+    fn size_bits(&self) -> usize {
+        self.root.size_bits() + 2 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mirror model executing the same operations on a Vec<bool>.
+    struct Model {
+        v: DynamicBitVec,
+        m: Vec<bool>,
+    }
+
+    impl Model {
+        fn new() -> Self {
+            Model {
+                v: DynamicBitVec::new(),
+                m: Vec::new(),
+            }
+        }
+
+        fn filled(bit: bool, n: usize) -> Self {
+            Model {
+                v: DynamicBitVec::filled(bit, n),
+                m: vec![bit; n],
+            }
+        }
+
+        fn insert(&mut self, pos: usize, bit: bool) {
+            self.v.insert(pos, bit);
+            self.m.insert(pos, bit);
+        }
+
+        fn remove(&mut self, pos: usize) {
+            let got = self.v.remove(pos);
+            let want = self.m.remove(pos);
+            assert_eq!(got, want, "remove({pos})");
+        }
+
+        fn check(&self) {
+            assert_eq!(self.v.len(), self.m.len());
+            let ones: usize = self.m.iter().filter(|&&b| b).count();
+            assert_eq!(self.v.count_ones(), ones);
+            let mut cum = 0usize;
+            for (i, &b) in self.m.iter().enumerate() {
+                assert_eq!(self.v.get(i), b, "get({i})");
+                assert_eq!(self.v.rank1(i), cum, "rank1({i})");
+                cum += b as usize;
+            }
+            assert_eq!(self.v.rank1(self.m.len()), cum);
+            let mut seen1 = 0usize;
+            let mut seen0 = 0usize;
+            for (i, &b) in self.m.iter().enumerate() {
+                if b {
+                    assert_eq!(self.v.select1(seen1), Some(i), "select1({seen1})");
+                    seen1 += 1;
+                } else {
+                    assert_eq!(self.v.select0(seen0), Some(i), "select0({seen0})");
+                    seen0 += 1;
+                }
+            }
+            assert_eq!(self.v.select1(seen1), None);
+            assert_eq!(self.v.select0(seen0), None);
+            let collected: Vec<bool> = self.v.iter().collect();
+            assert_eq!(collected, self.m, "iterator");
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let m = Model::new();
+        m.check();
+    }
+
+    #[test]
+    fn push_only() {
+        let mut m = Model::new();
+        for i in 0..2000 {
+            m.insert(m.m.len(), i % 3 == 0);
+        }
+        m.check();
+    }
+
+    #[test]
+    fn filled_then_edit() {
+        let mut m = Model::filled(true, 1000);
+        m.check();
+        for i in 0..100 {
+            m.insert(i * 7, i % 2 == 0);
+        }
+        m.check();
+        for _ in 0..200 {
+            m.remove(m.m.len() / 2);
+        }
+        m.check();
+    }
+
+    #[test]
+    fn init_is_constant_time_representation() {
+        // A filled vector must be a single run regardless of n (Remark 4.2).
+        for n in [1usize, 1000, 1_000_000, 1 << 30] {
+            let v = DynamicBitVec::filled(true, n);
+            assert_eq!(v.len(), n);
+            assert_eq!(v.count_ones(), n);
+            assert!(
+                v.size_bits() < 4096,
+                "Init must not allocate proportional to n (n={n}, bits={})",
+                v.size_bits()
+            );
+            assert_eq!(v.rank1(n / 2), n / 2);
+            assert_eq!(v.select1(n - 1), Some(n - 1));
+            assert_eq!(v.select0(0), None);
+        }
+    }
+
+    #[test]
+    fn interleaved_pseudorandom_ops() {
+        let mut s = 0xABCD_EF01_2345_6789u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut m = Model::new();
+        for step in 0..3000 {
+            let r = next();
+            let len = m.m.len();
+            if len == 0 || r % 3 != 0 {
+                let pos = if len == 0 { 0 } else { (next() % (len as u64 + 1)) as usize };
+                m.insert(pos, next() % 2 == 0);
+            } else {
+                let pos = (next() % len as u64) as usize;
+                m.remove(pos);
+            }
+            if step % 500 == 499 {
+                m.check();
+            }
+        }
+        m.check();
+    }
+
+    #[test]
+    fn run_heavy_workload_compresses() {
+        // 100k bits in runs of ~1000: must use far fewer than 100k bits.
+        let mut v = DynamicBitVec::new();
+        for i in 0..100_000 {
+            v.push((i / 1000) % 2 == 0);
+        }
+        assert!(v.size_bits() < 20_000, "RLE should compress runs: {}", v.size_bits());
+        // Alternating bits are the worst case: space grows but ops stay correct.
+        let mut w = DynamicBitVec::new();
+        for i in 0..10_000 {
+            w.push(i % 2 == 0);
+        }
+        assert_eq!(w.rank1(10_000), 5_000);
+    }
+
+    #[test]
+    fn delete_down_to_empty() {
+        let mut m = Model::filled(false, 300);
+        for _ in 0..300 {
+            m.remove(0);
+        }
+        m.check();
+        m.insert(0, true);
+        m.check();
+    }
+
+    #[test]
+    fn insert_at_both_ends() {
+        let mut m = Model::new();
+        for i in 0..500 {
+            m.insert(0, i % 2 == 0);
+            m.insert(m.m.len(), i % 3 == 0);
+        }
+        m.check();
+    }
+
+    #[test]
+    fn access_rank_combined() {
+        let v = DynamicBitVec::from_bits((0..100).map(|i| i % 7 < 3));
+        for i in 0..100 {
+            let (b, r) = v.access_rank(i);
+            assert_eq!(b, v.get(i));
+            assert_eq!(r, v.rank1(i));
+        }
+    }
+}

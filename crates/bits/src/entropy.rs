@@ -1,0 +1,150 @@
+//! Information-theoretic quantities from §2 of the paper.
+//!
+//! Provides the zero-order empirical entropy `H0`, the binomial bound
+//! `B(m, n) = ⌈log₂ C(n, m)⌉`, and the [`SpaceUsage`] trait every structure
+//! implements so the space experiments (E4, E5, E6 in EXPERIMENTS.md) can
+//! compare measured bits against these lower bounds.
+
+/// Binary entropy `H(p) = -p·log₂p - (1-p)·log₂(1-p)` in bits; 0 at p ∈ {0,1}.
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2()) - ((1.0 - p) * (1.0 - p).log2())
+}
+
+/// `n·H0` in bits for a bitvector with `m` ones out of `n` bits.
+pub fn bitvec_h0_bits(m: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    n as f64 * binary_entropy(m as f64 / n as f64)
+}
+
+/// Zero-order empirical entropy `H0(s)` in bits **per symbol** for the
+/// given symbol frequency counts (zero counts are ignored).
+pub fn h0_per_symbol(counts: &[usize]) -> f64 {
+    let n: usize = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Total zero-order entropy `n·H0(s)` in bits for symbol frequency counts.
+pub fn h0_total_bits(counts: &[usize]) -> f64 {
+    let n: usize = counts.iter().sum();
+    h0_per_symbol(counts) * n as f64
+}
+
+/// `log₂ C(n, m)` computed exactly enough for reporting, in O(min(m, n-m)).
+///
+/// `B(m, n) = ⌈log₂ C(n, m)⌉` is the information-theoretic lower bound for a
+/// set of `m` elements out of `n` (§2). We return the real-valued log so the
+/// experiments can report fractional bits-per-element.
+pub fn log2_binomial(n: usize, m: usize) -> f64 {
+    if m > n {
+        return f64::NEG_INFINITY;
+    }
+    let m = m.min(n - m);
+    let mut acc = 0.0f64;
+    for i in 0..m {
+        acc += ((n - i) as f64).log2() - ((m - i) as f64).log2();
+    }
+    acc
+}
+
+/// `B(m, n) = ⌈log₂ C(n, m)⌉` in bits.
+pub fn binomial_bound_bits(n: usize, m: usize) -> f64 {
+    log2_binomial(n, m).max(0.0).ceil()
+}
+
+/// Structures report their total memory footprint in bits through this
+/// trait; used by every space experiment.
+pub trait SpaceUsage {
+    /// Total size in bits, including every auxiliary directory, counting
+    /// heap capacity (what the process actually pays for).
+    fn size_bits(&self) -> usize;
+
+    /// Convenience: size in bytes.
+    fn size_bytes(&self) -> usize {
+        self.size_bits().div_ceil(8)
+    }
+}
+
+impl SpaceUsage for crate::RawBitVec {
+    fn size_bits(&self) -> usize {
+        RawBitVec::size_bits(self)
+    }
+}
+
+use crate::RawBitVec;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_symmetric() {
+        for &p in &[0.1, 0.25, 0.33] {
+            assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn h0_uniform_is_log_sigma() {
+        let counts = [10usize; 8];
+        assert!((h0_per_symbol(&counts) - 3.0).abs() < 1e-12);
+        assert!((h0_total_bits(&counts) - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h0_single_symbol_is_zero() {
+        assert_eq!(h0_per_symbol(&[42]), 0.0);
+        assert_eq!(h0_per_symbol(&[]), 0.0);
+    }
+
+    #[test]
+    fn log2_binomial_small_cases() {
+        // C(4,2) = 6
+        assert!((log2_binomial(4, 2) - 6f64.log2()).abs() < 1e-9);
+        // C(10,0) = 1
+        assert_eq!(log2_binomial(10, 0), 0.0);
+        // C(10,10) = 1
+        assert_eq!(log2_binomial(10, 10), 0.0);
+        // C(63,31) against an exact u64 value
+        let exact = {
+            let mut c: u128 = 1;
+            for i in 0..31u128 {
+                c = c * (63 - i) / (i + 1);
+            }
+            c as f64
+        };
+        assert!((log2_binomial(63, 31) - exact.log2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_bound_close_to_nh() {
+        // B(m,n) <= nH(m/n) + O(1)  (§2)
+        let (n, m) = (10_000usize, 1234usize);
+        let b = binomial_bound_bits(n, m);
+        let nh = bitvec_h0_bits(m, n);
+        assert!(b <= nh + 10.0, "B={b} nH0={nh}");
+        assert!(b >= nh - 0.5 * (n as f64).log2() - 10.0);
+    }
+}

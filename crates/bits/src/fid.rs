@@ -1,0 +1,373 @@
+//! Fully Indexable Dictionary over a plain bitvector.
+//!
+//! [`Fid`] augments a [`RawBitVec`] with a rank9-style two-level rank
+//! directory (O(1) rank, ~25% overhead) and sampled select hints
+//! (O(log) worst-case select over a narrow window, O(1)-ish in practice).
+//! This is the *uncompressed* FID; the compressed counterpart is
+//! [`crate::RrrVector`] (§2 of the paper, "Bitvectors and FIDs").
+
+use crate::broadword::select_in_word;
+use crate::{RawBitVec, SpaceUsage};
+
+/// Bits covered by one rank superblock (8 words).
+const BLOCK_BITS: usize = 512;
+const WORDS_PER_BLOCK: usize = BLOCK_BITS / 64;
+/// One select hint is stored for every `SELECT_SAMPLE` set (resp. unset) bits.
+const SELECT_SAMPLE: usize = 8192;
+
+/// Read-only positional access to a sequence of bits.
+pub trait BitAccess {
+    /// Number of bits.
+    fn len(&self) -> usize;
+    /// Whether the sequence is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Bit at position `i` (`i < len`).
+    fn get(&self, i: usize) -> bool;
+}
+
+/// Counting queries: `rank1(i)` = number of set bits in `[0, i)`.
+pub trait BitRank: BitAccess {
+    /// Number of set bits in `[0, i)`; `i` may equal `len()`.
+    fn rank1(&self, i: usize) -> usize;
+
+    /// Number of unset bits in `[0, i)`.
+    fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// `rank1` or `rank0` depending on `bit`.
+    fn rank(&self, bit: bool, i: usize) -> usize {
+        if bit {
+            self.rank1(i)
+        } else {
+            self.rank0(i)
+        }
+    }
+
+    /// Total number of set bits.
+    fn count_ones(&self) -> usize {
+        self.rank1(self.len())
+    }
+
+    /// Total number of unset bits.
+    fn count_zeros(&self) -> usize {
+        self.len() - self.count_ones()
+    }
+}
+
+/// Positional queries: `select1(k)` = position of the `k`-th (0-based) set bit.
+pub trait BitSelect: BitRank {
+    /// Position of the `k`-th set bit, or `None` if there are `<= k` ones.
+    fn select1(&self, k: usize) -> Option<usize>;
+
+    /// Position of the `k`-th unset bit, or `None` if there are `<= k` zeros.
+    fn select0(&self, k: usize) -> Option<usize>;
+
+    /// `select1` or `select0` depending on `bit`.
+    fn select(&self, bit: bool, k: usize) -> Option<usize> {
+        if bit {
+            self.select1(k)
+        } else {
+            self.select0(k)
+        }
+    }
+}
+
+/// An uncompressed bitvector with O(1) rank and fast select.
+#[derive(Clone, Debug)]
+pub struct Fid {
+    bits: RawBitVec,
+    /// Absolute rank before each 512-bit block.
+    block_rank: Vec<u64>,
+    /// Packed 9-bit relative ranks before words 1..=7 of each block
+    /// (rank9 second level).
+    sub_rank: Vec<u64>,
+    ones: usize,
+    /// Block index containing the `(k*SELECT_SAMPLE)`-th one.
+    hints1: Vec<u32>,
+    /// Block index containing the `(k*SELECT_SAMPLE)`-th zero.
+    hints0: Vec<u32>,
+}
+
+impl Fid {
+    /// Builds the directory over `bits`.
+    pub fn new(bits: RawBitVec) -> Self {
+        let n_blocks = bits.len().div_ceil(BLOCK_BITS).max(1);
+        let mut block_rank = Vec::with_capacity(n_blocks + 1);
+        let mut sub_rank = Vec::with_capacity(n_blocks);
+        let mut hints1 = Vec::new();
+        let mut hints0 = Vec::new();
+        let mut ones = 0u64;
+        for b in 0..n_blocks {
+            block_rank.push(ones);
+            let mut packed = 0u64;
+            let mut within = 0u64;
+            for w in 0..WORDS_PER_BLOCK {
+                if w > 0 {
+                    packed |= within << (9 * (w - 1));
+                }
+                within += bits.word(b * WORDS_PER_BLOCK + w).count_ones() as u64;
+            }
+            sub_rank.push(packed);
+            ones += within;
+        }
+        block_rank.push(ones);
+        // hints1[k] = index of the block containing the (k*SELECT_SAMPLE)-th
+        // one; likewise hints0 for zeros.
+        let total_ones = ones as usize;
+        let total_zeros = bits.len() - total_ones;
+        let mut b = 0usize;
+        for k in (0..total_ones).step_by(SELECT_SAMPLE) {
+            while block_rank[b + 1] <= k as u64 {
+                b += 1;
+            }
+            hints1.push(b as u32);
+        }
+        let zeros_before = |blk: usize| (blk * BLOCK_BITS).min(bits.len()) as u64 - block_rank[blk];
+        let mut b = 0usize;
+        for k in (0..total_zeros).step_by(SELECT_SAMPLE) {
+            while zeros_before(b + 1) <= k as u64 {
+                b += 1;
+            }
+            hints0.push(b as u32);
+        }
+        Fid {
+            bits,
+            block_rank,
+            sub_rank,
+            ones: total_ones,
+            hints1,
+            hints0,
+        }
+    }
+
+    /// Builds from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::new(RawBitVec::from_bits(iter))
+    }
+
+    /// The underlying raw bits.
+    #[inline]
+    pub fn raw(&self) -> &RawBitVec {
+        &self.bits
+    }
+
+    #[inline]
+    fn sub(&self, block: usize, word_in_block: usize) -> u64 {
+        if word_in_block == 0 {
+            0
+        } else {
+            (self.sub_rank[block] >> (9 * (word_in_block - 1))) & 0x1FF
+        }
+    }
+
+    #[inline]
+    fn zeros_before_block(&self, blk: usize) -> usize {
+        (blk * BLOCK_BITS).min(self.bits.len()) - self.block_rank[blk] as usize
+    }
+
+    /// Shared select kernel: `bit` chooses ones/zeros.
+    fn select_generic(&self, bit: bool, k: usize) -> Option<usize> {
+        let total = if bit { self.ones } else { self.bits.len() - self.ones };
+        if k >= total {
+            return None;
+        }
+        let hints = if bit { &self.hints1 } else { &self.hints0 };
+        let hi = k / SELECT_SAMPLE;
+        let mut lo_block = hints[hi] as usize;
+        let mut hi_block = hints
+            .get(hi + 1)
+            .map(|&b| b as usize + 1)
+            .unwrap_or(self.block_rank.len() - 1);
+        // Binary search for the block containing the k-th target bit.
+        let count_before = |blk: usize| {
+            if bit {
+                self.block_rank[blk] as usize
+            } else {
+                self.zeros_before_block(blk)
+            }
+        };
+        while lo_block + 1 < hi_block {
+            let mid = (lo_block + hi_block) / 2;
+            if count_before(mid) <= k {
+                lo_block = mid;
+            } else {
+                hi_block = mid;
+            }
+        }
+        let block = lo_block;
+        let mut remaining = (k - count_before(block)) as u32;
+        // Scan the (at most 8) words of the block.
+        for w in 0..WORDS_PER_BLOCK {
+            let word_idx = block * WORDS_PER_BLOCK + w;
+            let mut word = self.bits.word(word_idx);
+            if !bit {
+                word = !word;
+                // Mask out padding beyond len for the final partial word.
+                let base = word_idx * 64;
+                if base + 64 > self.bits.len() {
+                    let valid = self.bits.len() - base;
+                    if valid == 0 {
+                        word = 0;
+                    } else {
+                        word &= (1u64 << valid) - 1;
+                    }
+                }
+            }
+            let c = word.count_ones();
+            if remaining < c {
+                let pos = word_idx * 64 + select_in_word(word, remaining) as usize;
+                debug_assert!(pos < self.bits.len());
+                return Some(pos);
+            }
+            remaining -= c;
+        }
+        unreachable!("select hint directory inconsistent");
+    }
+}
+
+impl BitAccess for Fid {
+    #[inline]
+    fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+}
+
+impl BitRank for Fid {
+    #[inline]
+    fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.bits.len(), "rank index {i} out of bounds");
+        let block = i / BLOCK_BITS;
+        let word = (i % BLOCK_BITS) / 64;
+        let mut r = self.block_rank[block] as usize + self.sub(block, word) as usize;
+        let off = i % 64;
+        if off != 0 {
+            r += (self.bits.word(block * WORDS_PER_BLOCK + word) & ((1u64 << off) - 1)).count_ones()
+                as usize;
+        }
+        r
+    }
+
+    #[inline]
+    fn count_ones(&self) -> usize {
+        self.ones
+    }
+}
+
+impl BitSelect for Fid {
+    #[inline]
+    fn select1(&self, k: usize) -> Option<usize> {
+        self.select_generic(true, k)
+    }
+
+    #[inline]
+    fn select0(&self, k: usize) -> Option<usize> {
+        self.select_generic(false, k)
+    }
+}
+
+impl SpaceUsage for Fid {
+    fn size_bits(&self) -> usize {
+        self.bits.size_bits()
+            + self.block_rank.capacity() * 64
+            + self.sub_rank.capacity() * 64
+            + self.hints1.capacity() * 32
+            + self.hints0.capacity() * 32
+            + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_against_scan(bits: &RawBitVec) {
+        let fid = Fid::new(bits.clone());
+        assert_eq!(fid.len(), bits.len());
+        assert_eq!(fid.count_ones(), bits.count_ones());
+        let step = (bits.len() / 257).max(1);
+        for i in (0..=bits.len()).step_by(step) {
+            assert_eq!(fid.rank1(i), bits.rank1_scan(i), "rank1({i})");
+            assert_eq!(fid.rank0(i), i - bits.rank1_scan(i), "rank0({i})");
+        }
+        let ones = bits.count_ones();
+        let kstep = (ones / 311).max(1);
+        for k in (0..ones).step_by(kstep) {
+            assert_eq!(fid.select1(k), bits.select1_scan(k), "select1({k})");
+        }
+        assert_eq!(fid.select1(ones), None);
+        let zeros = bits.len() - ones;
+        let kstep = (zeros / 311).max(1);
+        for k in (0..zeros).step_by(kstep) {
+            assert_eq!(fid.select0(k), bits.select0_scan(k), "select0({k})");
+        }
+        assert_eq!(fid.select0(zeros), None);
+    }
+
+    #[test]
+    fn empty() {
+        let fid = Fid::new(RawBitVec::new());
+        assert_eq!(fid.len(), 0);
+        assert_eq!(fid.rank1(0), 0);
+        assert_eq!(fid.select1(0), None);
+        assert_eq!(fid.select0(0), None);
+    }
+
+    #[test]
+    fn all_ones_all_zeros() {
+        check_against_scan(&RawBitVec::filled(true, 10_000));
+        check_against_scan(&RawBitVec::filled(false, 10_000));
+        check_against_scan(&RawBitVec::filled(true, 511));
+        check_against_scan(&RawBitVec::filled(false, 513));
+    }
+
+    #[test]
+    fn periodic_patterns() {
+        for period in [2usize, 3, 7, 64, 65, 511, 512] {
+            let bits = RawBitVec::from_bits((0..20_000).map(|i| i % period == 0));
+            check_against_scan(&bits);
+        }
+    }
+
+    #[test]
+    fn pseudorandom_dense_and_sparse() {
+        let mut s = 12345u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for &density in &[1u64, 8, 128, 4096] {
+            let bits = RawBitVec::from_bits((0..50_000).map(|_| next() % density == 0));
+            check_against_scan(&bits);
+        }
+    }
+
+    #[test]
+    fn rank_select_inverse() {
+        let bits = RawBitVec::from_bits((0..30_000).map(|i| (i * i) % 17 < 5));
+        let fid = Fid::new(bits);
+        for k in (0..fid.count_ones()).step_by(97) {
+            let p = fid.select1(k).unwrap();
+            assert!(fid.get(p));
+            assert_eq!(fid.rank1(p), k);
+            assert_eq!(fid.rank1(p + 1), k + 1);
+        }
+    }
+
+    #[test]
+    fn boundary_sizes() {
+        for n in [1usize, 63, 64, 65, 127, 128, 129, 512, 513, 8191, 8192, 8193] {
+            let bits = RawBitVec::from_bits((0..n).map(|i| i % 2 == 1));
+            check_against_scan(&bits);
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Word-packed growable bit array.
+//!
+//! [`RawBitVec`] is the storage layer every other structure in this crate is
+//! built on: a plain `Vec<u64>` with bit-granular addressing. Bit `i` lives
+//! in word `i / 64` at bit `i % 64` (LSB-first within a word), the standard
+//! layout for succinct data structures.
+
+/// A growable, word-packed bit vector with no indexing structures.
+///
+/// This is the "binary representation" of §2 of the paper: just the bits.
+/// Rank/Select support is layered on top by [`crate::Fid`],
+/// [`crate::RrrVector`], and friends.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct RawBitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RawBitVec {
+    /// Creates an empty bit vector.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit vector with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Creates a bit vector of `len` copies of `bit`.
+    pub fn filled(bit: bool, len: usize) -> Self {
+        let fill = if bit { !0u64 } else { 0u64 };
+        let mut words = vec![fill; len.div_ceil(64)];
+        if bit {
+            Self::mask_tail(&mut words, len);
+        }
+        Self { words, len }
+    }
+
+    /// Builds from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bv = Self::new();
+        for b in iter {
+            bv.push(b);
+        }
+        bv
+    }
+
+    /// Builds from a `0`/`1` ASCII string; any other character panics.
+    ///
+    /// Handy for tests and for transcribing the paper's figures.
+    pub fn from_bit_str(s: &str) -> Self {
+        Self::from_bits(s.chars().map(|c| match c {
+            '0' => false,
+            '1' => true,
+            _ => panic!("invalid bit character {c:?}"),
+        }))
+    }
+
+    fn mask_tail(words: &mut [u64], len: usize) {
+        let r = len % 64;
+        if r != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << r) - 1;
+            }
+        }
+    }
+
+    /// Number of bits stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        unsafe { self.get_unchecked(i) }
+    }
+
+    /// Returns bit `i` without a bounds check.
+    ///
+    /// # Safety
+    /// `i` must be `< len()`.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, i: usize) -> bool {
+        (self.words.get_unchecked(i / 64) >> (i % 64)) & 1 != 0
+    }
+
+    /// Sets bit `i` to `bit`.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if bit {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Appends a bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let w = self.len / 64;
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Reads `width <= 64` bits starting at bit `i`, returned LSB-first
+    /// (bit `i` is bit 0 of the result).
+    pub fn get_bits(&self, i: usize, width: usize) -> u64 {
+        debug_assert!(width <= 64);
+        assert!(
+            i + width <= self.len,
+            "bit range {i}..{} out of bounds (len {})",
+            i + width,
+            self.len
+        );
+        if width == 0 {
+            return 0;
+        }
+        let w = i / 64;
+        let off = i % 64;
+        let lo = self.words[w] >> off;
+        let got = 64 - off;
+        let val = if width > got {
+            lo | (self.words[w + 1] << got)
+        } else {
+            lo
+        };
+        if width == 64 {
+            val
+        } else {
+            val & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Appends the `width <= 64` low bits of `value`, LSB-first.
+    pub fn push_bits(&mut self, value: u64, width: usize) {
+        debug_assert!(width <= 64);
+        debug_assert!(width == 64 || value < (1u64 << width));
+        if width == 0 {
+            return;
+        }
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(value);
+        } else {
+            let w = self.words.len() - 1;
+            self.words[w] |= value << off;
+            let got = 64 - off;
+            if width > got {
+                self.words.push(value >> got);
+            }
+        }
+        self.len += width;
+        // Clear any garbage bits beyond len introduced by the shifted store.
+        let full = self.len.div_ceil(64);
+        self.words.truncate(full);
+        Self::mask_tail(&mut self.words, self.len);
+    }
+
+    /// Appends `other[start..start+len]` to `self`.
+    pub fn extend_from_range(&mut self, other: &RawBitVec, start: usize, len: usize) {
+        assert!(start + len <= other.len);
+        let mut i = start;
+        let end = start + len;
+        while i < end {
+            let take = (end - i).min(64);
+            let chunk = other.get_bits(i, take);
+            self.push_bits(chunk, take);
+            i += take;
+        }
+    }
+
+    /// Truncates to the first `len` bits.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        self.len = len;
+        self.words.truncate(len.div_ceil(64));
+        Self::mask_tail(&mut self.words, len);
+    }
+
+    /// Removes all bits.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits in `[0, i)` by scanning; O(i/64).
+    ///
+    /// Indexed structures ([`crate::Fid`]) answer this in O(1); this scanning
+    /// version is used by small tails and by tests.
+    pub fn rank1_scan(&self, i: usize) -> usize {
+        assert!(i <= self.len);
+        let w = i / 64;
+        let mut r = 0usize;
+        for &word in &self.words[..w] {
+            r += word.count_ones() as usize;
+        }
+        let off = i % 64;
+        if off != 0 {
+            r += (self.words[w] & ((1u64 << off) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Position of the `k`-th (0-based) set bit by scanning, if any.
+    pub fn select1_scan(&self, k: usize) -> Option<usize> {
+        let mut remaining = k;
+        for (wi, &word) in self.words.iter().enumerate() {
+            let c = word.count_ones() as usize;
+            if remaining < c {
+                let pos = wi * 64 + crate::broadword::select_in_word(word, remaining as u32) as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            remaining -= c;
+        }
+        None
+    }
+
+    /// Position of the `k`-th (0-based) zero bit by scanning, if any.
+    pub fn select0_scan(&self, k: usize) -> Option<usize> {
+        let mut remaining = k;
+        for (wi, &word) in self.words.iter().enumerate() {
+            let inv = !word;
+            let c = inv.count_ones() as usize;
+            if remaining < c {
+                let pos = wi * 64 + crate::broadword::select_in_word(inv, remaining as u32) as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            remaining -= c;
+        }
+        None
+    }
+
+    /// The backing words; the final partial word is zero-padded.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word `i` of the backing storage, or 0 past the end.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
+    /// Iterates over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| unsafe { self.get_unchecked(i) })
+    }
+
+    /// Heap + inline size in bits (for the space experiments).
+    pub fn size_bits(&self) -> usize {
+        self.words.capacity() * 64 + 2 * 64
+    }
+}
+
+impl std::fmt::Debug for RawBitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RawBitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(256) {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.len > 256 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for RawBitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut bv = RawBitVec::new();
+        let pattern: Vec<bool> = (0..1000).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        for &b in &pattern {
+            bv.push(b);
+        }
+        assert_eq!(bv.len(), 1000);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(bv.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn filled_works() {
+        let ones = RawBitVec::filled(true, 130);
+        assert_eq!(ones.count_ones(), 130);
+        assert!(ones.get(129));
+        let zeros = RawBitVec::filled(false, 130);
+        assert_eq!(zeros.count_ones(), 0);
+        let empty = RawBitVec::filled(true, 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn set_flips_bits() {
+        let mut bv = RawBitVec::filled(false, 100);
+        bv.set(3, true);
+        bv.set(64, true);
+        bv.set(99, true);
+        assert_eq!(bv.count_ones(), 3);
+        bv.set(64, false);
+        assert_eq!(bv.count_ones(), 2);
+        assert!(!bv.get(64));
+    }
+
+    #[test]
+    fn get_bits_across_words() {
+        let mut bv = RawBitVec::new();
+        for i in 0..128u64 {
+            bv.push(i % 2 == 1);
+        }
+        // bits ...101010 LSB-first => 0b..1010
+        assert_eq!(bv.get_bits(0, 4), 0b1010);
+        assert_eq!(bv.get_bits(62, 4), 0b1010);
+        assert_eq!(bv.get_bits(63, 2), 0b01);
+        assert_eq!(bv.get_bits(0, 64), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(bv.get_bits(1, 64), 0x5555_5555_5555_5555);
+        assert_eq!(bv.get_bits(5, 0), 0);
+    }
+
+    #[test]
+    fn push_bits_matches_push() {
+        let mut a = RawBitVec::new();
+        let mut b = RawBitVec::new();
+        let vals = [(0b1011u64, 4usize), (0, 1), (u64::MAX, 64), (0b1, 1), (0x1234_5678, 33)];
+        for &(v, w) in &vals {
+            a.push_bits(v, w);
+            for i in 0..w {
+                b.push((v >> i) & 1 != 0);
+            }
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extend_from_range_copies() {
+        let src = RawBitVec::from_bit_str("1101001110101010111100001");
+        let mut dst = RawBitVec::from_bit_str("01");
+        dst.extend_from_range(&src, 3, 17);
+        assert_eq!(dst.len(), 19);
+        for i in 0..17 {
+            assert_eq!(dst.get(2 + i), src.get(3 + i));
+        }
+    }
+
+    #[test]
+    fn truncate_masks_tail() {
+        let mut bv = RawBitVec::filled(true, 100);
+        bv.truncate(70);
+        assert_eq!(bv.len(), 70);
+        assert_eq!(bv.count_ones(), 70);
+        // pushing after truncation must not resurrect old bits
+        bv.push(false);
+        assert_eq!(bv.count_ones(), 70);
+        assert!(!bv.get(70));
+    }
+
+    #[test]
+    fn scan_rank_select_agree() {
+        let bv = RawBitVec::from_bits((0..500).map(|i| i % 5 == 0));
+        for i in 0..=bv.len() {
+            let naive = (0..i).filter(|&j| bv.get(j)).count();
+            assert_eq!(bv.rank1_scan(i), naive);
+        }
+        let ones = bv.count_ones();
+        for k in 0..ones {
+            let p = bv.select1_scan(k).unwrap();
+            assert!(bv.get(p));
+            assert_eq!(bv.rank1_scan(p), k);
+        }
+        assert_eq!(bv.select1_scan(ones), None);
+        let zeros = bv.len() - ones;
+        for k in (0..zeros).step_by(7) {
+            let p = bv.select0_scan(k).unwrap();
+            assert!(!bv.get(p));
+            assert_eq!(p - bv.rank1_scan(p), k);
+        }
+        assert_eq!(bv.select0_scan(zeros), None);
+    }
+
+    #[test]
+    fn from_bit_str_parses() {
+        let bv = RawBitVec::from_bit_str("0010101");
+        assert_eq!(bv.len(), 7);
+        assert!(!bv.get(0));
+        assert!(bv.get(2));
+        assert!(bv.get(6));
+    }
+}

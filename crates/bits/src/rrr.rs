@@ -1,0 +1,520 @@
+//! RRR compressed bitvector [Raman–Raman–Rao'07], §2 of the paper.
+//!
+//! The bitvector is split into blocks of 63 bits. Each block is encoded as a
+//! (class, offset) pair: the class is the block's popcount (6 bits) and the
+//! offset is the block's index in the enumeration of all 63-bit words with
+//! that popcount (combinatorial number system, ⌈log₂ C(63,c)⌉ bits).
+//! Superblocks of SB_BLOCKS blocks store an absolute rank and an absolute bit
+//! pointer into the offset stream, so every query touches at most one
+//! superblock walk (a bounded constant amount of work).
+//!
+//! Space is `B(m, n) + o(n)` bits as in the paper; operations are O(1) for
+//! access/rank and O(log (n/superblock)) for select (binary search over
+//! superblock ranks — see DESIGN.md substitution #1).
+
+use crate::broadword::select_in_word;
+use crate::{BitAccess, BitRank, BitSelect, RawBitVec, SpaceUsage};
+
+/// Bits per RRR block; 63 so class+offset arithmetic fits in `u64`.
+pub const RRR_BLOCK_BITS: usize = 63;
+/// Blocks per superblock: walks touch at most this many classes, so it
+/// trades directory space (64+64 bits per superblock) for query constants.
+const SB_BLOCKS: usize = 16;
+const CLASS_BITS: usize = 6;
+
+/// Pascal's triangle up to n = 63; `C(63, 31)` fits comfortably in `u64`.
+const fn binomial_table() -> [[u64; 64]; 64] {
+    let mut t = [[0u64; 64]; 64];
+    let mut n = 0;
+    while n < 64 {
+        t[n][0] = 1;
+        let mut k = 1;
+        while k <= n {
+            t[n][k] = t[n - 1][k - 1] + if k < n { t[n - 1][k] } else { 0 };
+            k += 1;
+        }
+        n += 1;
+    }
+    t
+}
+
+static BINOM: [[u64; 64]; 64] = binomial_table();
+
+/// Offset width in bits for each class: ⌈log₂ C(63, c)⌉.
+const fn offset_widths() -> [u8; 64] {
+    let mut w = [0u8; 64];
+    let mut c = 0;
+    while c <= 63 {
+        let count = BINOM[63][c] as u128;
+        // smallest `bits` with 2^bits >= count
+        let mut bits = 0u8;
+        while (1u128 << bits) < count {
+            bits += 1;
+        }
+        w[c] = bits;
+        c += 1;
+    }
+    w
+}
+
+const OFFSET_WIDTH: [u8; 64] = offset_widths();
+
+/// Encodes a 63-bit block of class `c` into its combinatorial offset.
+#[inline]
+fn block_rank_offset(word: u64, c: u32) -> u64 {
+    debug_assert_eq!(word >> 63, 0);
+    debug_assert_eq!(word.count_ones(), c);
+    let mut off = 0u64;
+    let mut remaining = c as usize;
+    let mut i = RRR_BLOCK_BITS;
+    while remaining > 0 {
+        i -= 1;
+        if (word >> i) & 1 != 0 {
+            off += BINOM[i][remaining];
+            remaining -= 1;
+        }
+    }
+    off
+}
+
+/// Decodes a combinatorial offset back into the 63-bit block.
+#[inline]
+fn block_unrank_offset(mut off: u64, c: u32) -> u64 {
+    let mut word = 0u64;
+    let mut remaining = c as usize;
+    let mut i = RRR_BLOCK_BITS;
+    while remaining > 0 {
+        i -= 1;
+        let b = BINOM[i][remaining];
+        if off >= b {
+            off -= b;
+            word |= 1u64 << i;
+            remaining -= 1;
+        }
+    }
+    debug_assert_eq!(off, 0);
+    word
+}
+
+/// An immutable entropy-compressed bitvector with constant-time access/rank.
+#[derive(Clone, Debug)]
+pub struct RrrVector {
+    len: usize,
+    ones: usize,
+    /// 6-bit class per block (fixed width, random access).
+    classes: RawBitVec,
+    /// Variable-width combinatorial offsets, one per block.
+    offsets: RawBitVec,
+    /// Absolute rank before each superblock (+ final total).
+    sb_rank: Vec<u64>,
+    /// Absolute bit index into `offsets` for each superblock start.
+    sb_ptr: Vec<u64>,
+}
+
+impl RrrVector {
+    /// Compresses `bits`.
+    pub fn new(bits: &RawBitVec) -> Self {
+        let mut b = RrrBuilder::new(bits.len());
+        let n_blocks = bits.len().div_ceil(RRR_BLOCK_BITS);
+        for i in 0..n_blocks {
+            let start = i * RRR_BLOCK_BITS;
+            let width = RRR_BLOCK_BITS.min(bits.len() - start);
+            b.push_block(bits.get_bits(start, width));
+        }
+        b.finish()
+    }
+
+    /// Builds from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::new(&RawBitVec::from_bits(iter))
+    }
+
+    #[inline]
+    fn class_of(&self, block: usize) -> u32 {
+        self.classes.get_bits(block * CLASS_BITS, CLASS_BITS) as u32
+    }
+
+    /// Decodes block `block` given the bit pointer of its offset.
+    #[inline]
+    fn decode_block_at(&self, block: usize, ptr: usize) -> u64 {
+        let c = self.class_of(block);
+        let w = OFFSET_WIDTH[c as usize] as usize;
+        let off = if w == 0 { 0 } else { self.offsets.get_bits(ptr, w) };
+        block_unrank_offset(off, c)
+    }
+
+    /// Walks a superblock to find (rank_before_block, offset_ptr) of `block`.
+    #[inline]
+    fn locate_block(&self, block: usize) -> (usize, usize) {
+        let sb = block / SB_BLOCKS;
+        let mut rank = self.sb_rank[sb] as usize;
+        let mut ptr = self.sb_ptr[sb] as usize;
+        for b in sb * SB_BLOCKS..block {
+            let c = self.class_of(b);
+            rank += c as usize;
+            ptr += OFFSET_WIDTH[c as usize] as usize;
+        }
+        (rank, ptr)
+    }
+
+    fn n_blocks(&self) -> usize {
+        self.len.div_ceil(RRR_BLOCK_BITS)
+    }
+
+    #[inline]
+    fn zeros_before_sb(&self, sb: usize) -> usize {
+        (sb * SB_BLOCKS * RRR_BLOCK_BITS).min(self.len) - self.sb_rank[sb] as usize
+    }
+
+    fn select_generic(&self, bit: bool, k: usize) -> Option<usize> {
+        let total = if bit { self.ones } else { self.len - self.ones };
+        if k >= total {
+            return None;
+        }
+        // Binary search the superblock containing the k-th target bit.
+        let count_before = |sb: usize| {
+            if bit {
+                self.sb_rank[sb] as usize
+            } else {
+                self.zeros_before_sb(sb)
+            }
+        };
+        let (mut lo, mut hi) = (0usize, self.sb_rank.len() - 1);
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if count_before(mid) <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let sb = lo;
+        let mut remaining = k - count_before(sb);
+        let mut ptr = self.sb_ptr[sb] as usize;
+        let n_blocks = self.n_blocks();
+        for b in sb * SB_BLOCKS..n_blocks {
+            let c = self.class_of(b) as usize;
+            let block_start = b * RRR_BLOCK_BITS;
+            let valid = RRR_BLOCK_BITS.min(self.len - block_start);
+            let in_block = if bit { c } else { valid - c };
+            if remaining < in_block {
+                let mut word = self.decode_block_at(b, ptr);
+                if !bit {
+                    word = !word & ((1u64 << valid) - 1);
+                }
+                return Some(block_start + select_in_word(word, remaining as u32) as usize);
+            }
+            remaining -= in_block;
+            ptr += OFFSET_WIDTH[c] as usize;
+        }
+        unreachable!("select directory inconsistent");
+    }
+
+    /// Decompresses the whole vector (tests, iteration).
+    pub fn to_raw(&self) -> RawBitVec {
+        let mut out = RawBitVec::with_capacity(self.len);
+        let mut ptr = 0usize;
+        for b in 0..self.n_blocks() {
+            let c = self.class_of(b) as usize;
+            let word = self.decode_block_at(b, ptr);
+            let valid = RRR_BLOCK_BITS.min(self.len - b * RRR_BLOCK_BITS);
+            out.push_bits(word, valid);
+            ptr += OFFSET_WIDTH[c] as usize;
+        }
+        out
+    }
+}
+
+impl BitAccess for RrrVector {
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        let block = i / RRR_BLOCK_BITS;
+        let (_, ptr) = self.locate_block(block);
+        let word = self.decode_block_at(block, ptr);
+        (word >> (i % RRR_BLOCK_BITS)) & 1 != 0
+    }
+}
+
+impl BitRank for RrrVector {
+    fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len);
+        if i == self.len {
+            return self.ones;
+        }
+        let block = i / RRR_BLOCK_BITS;
+        let (rank, ptr) = self.locate_block(block);
+        let off = i % RRR_BLOCK_BITS;
+        if off == 0 {
+            return rank;
+        }
+        let word = self.decode_block_at(block, ptr);
+        rank + (word & ((1u64 << off) - 1)).count_ones() as usize
+    }
+
+    #[inline]
+    fn count_ones(&self) -> usize {
+        self.ones
+    }
+}
+
+impl BitSelect for RrrVector {
+    #[inline]
+    fn select1(&self, k: usize) -> Option<usize> {
+        self.select_generic(true, k)
+    }
+
+    #[inline]
+    fn select0(&self, k: usize) -> Option<usize> {
+        self.select_generic(false, k)
+    }
+}
+
+impl SpaceUsage for RrrVector {
+    fn size_bits(&self) -> usize {
+        self.classes.size_bits()
+            + self.offsets.size_bits()
+            + self.sb_rank.capacity() * 64
+            + self.sb_ptr.capacity() * 64
+            + 2 * 64
+    }
+}
+
+/// Incremental RRR construction, one 63-bit block at a time.
+///
+/// This is the "decomposable" construction property Theorem 4.5 requires:
+/// the append-only bitvector (§4.1) spreads this work over subsequent
+/// appends to de-amortize block sealing.
+#[derive(Clone, Debug)]
+pub struct RrrBuilder {
+    len: usize,
+    target_len: usize,
+    ones: usize,
+    classes: RawBitVec,
+    offsets: RawBitVec,
+    sb_rank: Vec<u64>,
+    sb_ptr: Vec<u64>,
+    blocks_pushed: usize,
+}
+
+impl RrrBuilder {
+    /// Starts building a vector that will hold exactly `target_len` bits.
+    pub fn new(target_len: usize) -> Self {
+        let n_blocks = target_len.div_ceil(RRR_BLOCK_BITS);
+        RrrBuilder {
+            len: 0,
+            target_len,
+            ones: 0,
+            classes: RawBitVec::with_capacity(n_blocks * CLASS_BITS),
+            offsets: RawBitVec::new(),
+            sb_rank: Vec::with_capacity(n_blocks / SB_BLOCKS + 2),
+            sb_ptr: Vec::with_capacity(n_blocks / SB_BLOCKS + 2),
+            blocks_pushed: 0,
+        }
+    }
+
+    /// Number of blocks the finished vector will have.
+    pub fn total_blocks(&self) -> usize {
+        self.target_len.div_ceil(RRR_BLOCK_BITS)
+    }
+
+    /// Number of blocks already pushed.
+    pub fn blocks_pushed(&self) -> usize {
+        self.blocks_pushed
+    }
+
+    /// Whether all blocks have been pushed.
+    pub fn is_complete(&self) -> bool {
+        self.blocks_pushed == self.total_blocks()
+    }
+
+    /// Pushes the next 63-bit block (the final block may be partial; its
+    /// upper padding bits must be zero).
+    pub fn push_block(&mut self, word: u64) {
+        debug_assert!(!self.is_complete(), "pushed more blocks than target_len holds");
+        debug_assert_eq!(word >> 63, 0);
+        if self.blocks_pushed.is_multiple_of(SB_BLOCKS) {
+            self.sb_rank.push(self.ones as u64);
+            self.sb_ptr.push(self.offsets.len() as u64);
+        }
+        let c = word.count_ones();
+        self.classes.push_bits(c as u64, CLASS_BITS);
+        let w = OFFSET_WIDTH[c as usize] as usize;
+        if w > 0 {
+            self.offsets.push_bits(block_rank_offset(word, c), w);
+        }
+        self.ones += c as usize;
+        self.blocks_pushed += 1;
+        self.len = (self.blocks_pushed * RRR_BLOCK_BITS).min(self.target_len);
+    }
+
+    /// Finalizes the vector.
+    ///
+    /// # Panics
+    /// If fewer blocks than promised were pushed.
+    pub fn finish(mut self) -> RrrVector {
+        assert!(self.is_complete(), "RrrBuilder: missing blocks");
+        // Sentinel superblock so binary searches have an upper fence.
+        self.sb_rank.push(self.ones as u64);
+        self.sb_ptr.push(self.offsets.len() as u64);
+        RrrVector {
+            len: self.target_len,
+            ones: self.ones,
+            classes: self.classes,
+            offsets: self.offsets,
+            sb_rank: self.sb_rank,
+            sb_ptr: self.sb_ptr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binom_table_sane() {
+        assert_eq!(BINOM[0][0], 1);
+        assert_eq!(BINOM[4][2], 6);
+        assert_eq!(BINOM[63][0], 1);
+        assert_eq!(BINOM[63][63], 1);
+        assert_eq!(BINOM[63][1], 63);
+        // C(63,31) known value
+        assert_eq!(BINOM[63][31], 916312070471295267);
+    }
+
+    #[test]
+    fn offset_width_sane() {
+        assert_eq!(OFFSET_WIDTH[0], 0);
+        assert_eq!(OFFSET_WIDTH[63], 0);
+        assert_eq!(OFFSET_WIDTH[1], 6); // C(63,1)=63 -> 6 bits
+        assert!(OFFSET_WIDTH[31] <= 60);
+    }
+
+    #[test]
+    fn block_rank_unrank_roundtrip() {
+        let mut s = 0xDEAD_BEEF_1234_5678u64;
+        for _ in 0..5000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let word = s >> 1; // 63 bits
+            let c = word.count_ones();
+            let off = block_rank_offset(word, c);
+            if OFFSET_WIDTH[c as usize] < 64 {
+                assert!(off < (1u64 << OFFSET_WIDTH[c as usize]).max(1));
+            }
+            assert_eq!(block_unrank_offset(off, c), word);
+        }
+        // extremes
+        assert_eq!(block_unrank_offset(block_rank_offset(0, 0), 0), 0);
+        let full = (1u64 << 63) - 1;
+        assert_eq!(block_unrank_offset(block_rank_offset(full, 63), 63), full);
+    }
+
+    #[test]
+    fn offsets_are_dense() {
+        // offsets enumerate words of a class contiguously from 0
+        for c in [1u32, 2, 62] {
+            // smallest word of class c: low c bits set -> offset 0
+            let lowest = (1u64 << c) - 1;
+            assert_eq!(block_rank_offset(lowest, c), 0);
+            // largest word: high c bits of the 63 -> offset C(63,c)-1
+            let highest = ((1u64 << c) - 1) << (63 - c);
+            assert_eq!(block_rank_offset(highest, c), BINOM[63][c as usize] - 1);
+        }
+    }
+
+    fn check(bits: &RawBitVec) {
+        let rrr = RrrVector::new(bits);
+        assert_eq!(rrr.len(), bits.len());
+        assert_eq!(rrr.to_raw(), *bits, "roundtrip");
+        assert_eq!(rrr.count_ones(), bits.count_ones());
+        let step = (bits.len() / 200).max(1);
+        for i in (0..=bits.len()).step_by(step) {
+            assert_eq!(rrr.rank1(i), bits.rank1_scan(i), "rank1({i})");
+        }
+        for i in (0..bits.len()).step_by(step) {
+            assert_eq!(rrr.get(i), bits.get(i), "get({i})");
+        }
+        let ones = bits.count_ones();
+        for k in (0..ones).step_by((ones / 200).max(1)) {
+            assert_eq!(rrr.select1(k), bits.select1_scan(k), "select1({k})");
+        }
+        assert_eq!(rrr.select1(ones), None);
+        let zeros = bits.len() - ones;
+        for k in (0..zeros).step_by((zeros / 200).max(1)) {
+            assert_eq!(rrr.select0(k), bits.select0_scan(k), "select0({k})");
+        }
+        assert_eq!(rrr.select0(zeros), None);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        check(&RawBitVec::new());
+        check(&RawBitVec::from_bit_str("1"));
+        check(&RawBitVec::from_bit_str("0"));
+        check(&RawBitVec::from_bit_str("0010101"));
+    }
+
+    #[test]
+    fn block_boundaries() {
+        for n in [62usize, 63, 64, 125, 126, 127, 2015, 2016, 2017] {
+            check(&RawBitVec::from_bits((0..n).map(|i| i % 3 == 0)));
+            check(&RawBitVec::filled(true, n));
+            check(&RawBitVec::filled(false, n));
+        }
+    }
+
+    #[test]
+    fn pseudorandom_densities() {
+        let mut s = 777u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for &density in &[2u64, 10, 100, 1000] {
+            let bits = RawBitVec::from_bits((0..40_000).map(|_| next() % density == 0));
+            check(&bits);
+        }
+    }
+
+    #[test]
+    fn compresses_sparse_input() {
+        // 1% density over 100k bits: entropy ~ 0.081 bits/bit.
+        let bits = RawBitVec::from_bits((0..100_000).map(|i| i % 100 == 0));
+        let rrr = RrrVector::new(&bits);
+        let h0 = crate::entropy::bitvec_h0_bits(bits.count_ones(), bits.len());
+        let used = rrr.size_bits() as f64;
+        // within entropy + directory overhead (classes 6/63 ≈ 9.5% +
+        // superblock directories 128/(16·63) ≈ 12.7%)
+        assert!(
+            used < h0 + 0.24 * bits.len() as f64 + 1024.0,
+            "RRR too large: {used} bits vs nH0 = {h0}"
+        );
+        assert!(used < bits.len() as f64, "should beat plain storage");
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch() {
+        let bits = RawBitVec::from_bits((0..10_000).map(|i| i % 7 == 0));
+        let batch = RrrVector::new(&bits);
+        let mut b = RrrBuilder::new(bits.len());
+        let mut i = 0;
+        while !b.is_complete() {
+            let width = RRR_BLOCK_BITS.min(bits.len() - i);
+            b.push_block(bits.get_bits(i, width));
+            i += width;
+        }
+        let inc = b.finish();
+        assert_eq!(inc.to_raw(), batch.to_raw());
+        assert_eq!(inc.rank1(5000), batch.rank1(5000));
+    }
+}

@@ -1,0 +1,261 @@
+//! Binarization: mapping application alphabets onto binary strings.
+//!
+//! §2/§3 of the paper: the Wavelet Trie stores *binary* strings whose set is
+//! *prefix-free*; "strings from larger alphabets can be binarized" and "any
+//! set of strings can be made prefix-free by appending a terminator symbol".
+//! A [`Coder`] realizes both requirements.
+
+use wt_trie::{BitStr, BitString};
+
+/// A reversible encoding of byte strings into prefix-free binary strings.
+pub trait Coder {
+    /// Encodes a full string (with terminator): the result set is prefix-free.
+    fn encode(&self, s: &[u8]) -> BitString;
+
+    /// Encodes a *prefix* (no terminator): `t` starts with byte-prefix `p`
+    /// iff `encode(t)` starts with `encode_prefix(p)`.
+    fn encode_prefix(&self, p: &[u8]) -> BitString;
+
+    /// Decodes a full encoded string back to bytes.
+    ///
+    /// # Panics
+    /// If `b` is not a valid encoding.
+    fn decode(&self, b: BitStr<'_>) -> Vec<u8>;
+
+    /// Decodes a (possibly terminator-less) prefix encoding: complete
+    /// encoded bytes are decoded, a trailing terminator is accepted, and
+    /// decoding stops at the end of input. Used by the §5 stop-early
+    /// prefix enumeration.
+    fn decode_prefix(&self, b: BitStr<'_>) -> Vec<u8>;
+}
+
+/// The default coder: each byte `b` becomes `1·b₇…b₀` (marker bit + 8 data
+/// bits MSB-first) and the string ends with a single `0` terminator.
+///
+/// Properties (both required by §3):
+/// * **prefix-free**: the terminator `0` can never be the start of another
+///   encoded byte (those start with `1`);
+/// * **order-preserving**: comparing encodings bit-wise equals comparing the
+///   byte strings lexicographically (with prefixes sorting first).
+///
+/// Cost: `9·len + 1` bits per string (12.5% over raw).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NinthBitCoder;
+
+impl Coder for NinthBitCoder {
+    fn encode(&self, s: &[u8]) -> BitString {
+        let mut out = self.encode_prefix(s);
+        out.push(false);
+        out
+    }
+
+    fn encode_prefix(&self, p: &[u8]) -> BitString {
+        let mut out = BitString::new();
+        for &byte in p {
+            out.push(true);
+            for k in (0..8).rev() {
+                out.push((byte >> k) & 1 != 0);
+            }
+        }
+        out
+    }
+
+    fn decode(&self, b: BitStr<'_>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(b.len() / 9);
+        let mut i = 0usize;
+        loop {
+            assert!(i < b.len(), "truncated encoding: missing terminator");
+            if !b.get(i) {
+                assert_eq!(i + 1, b.len(), "trailing bits after terminator");
+                return out;
+            }
+            assert!(i + 9 <= b.len(), "truncated encoded byte");
+            let mut byte = 0u8;
+            for k in 0..8 {
+                byte = (byte << 1) | b.get(i + 1 + k) as u8;
+            }
+            out.push(byte);
+            i += 9;
+        }
+    }
+
+    fn decode_prefix(&self, b: BitStr<'_>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(b.len() / 9);
+        let mut i = 0usize;
+        while i + 9 <= b.len() && b.get(i) {
+            let mut byte = 0u8;
+            for k in 0..8 {
+                byte = (byte << 1) | b.get(i + 1 + k) as u8;
+            }
+            out.push(byte);
+            i += 9;
+        }
+        out
+    }
+}
+
+/// Fixed-width integer binarization, MSB-first: order-preserving over
+/// `u64` values `< 2^width`; all encodings share one length, hence
+/// prefix-free. Used when the values are numeric (§6 discussion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedWidthMsb {
+    /// Bits per value (1..=64).
+    pub width: u32,
+}
+
+impl FixedWidthMsb {
+    /// Creates the coder.
+    ///
+    /// # Panics
+    /// If `width` is 0 or exceeds 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width));
+        FixedWidthMsb { width }
+    }
+
+    /// Encodes `x < 2^width`.
+    pub fn encode_u64(&self, x: u64) -> BitString {
+        debug_assert!(self.width == 64 || x < (1u64 << self.width));
+        BitString::from_bits((0..self.width).rev().map(|k| (x >> k) & 1 != 0))
+    }
+
+    /// Decodes a full-width encoding.
+    pub fn decode_u64(&self, b: BitStr<'_>) -> u64 {
+        assert_eq!(b.len(), self.width as usize, "width mismatch");
+        let mut x = 0u64;
+        for i in 0..b.len() {
+            x = (x << 1) | b.get(i) as u64;
+        }
+        x
+    }
+}
+
+/// Fixed-width integer binarization, **LSB-first** — the hash layout of §6
+/// ("The result of the hash function is considered as a binary string of
+/// ⌈log u⌉ bits written LSB-to-MSB").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedWidthLsb {
+    /// Bits per value (1..=64).
+    pub width: u32,
+}
+
+impl FixedWidthLsb {
+    /// Creates the coder.
+    ///
+    /// # Panics
+    /// If `width` is 0 or exceeds 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width));
+        FixedWidthLsb { width }
+    }
+
+    /// Encodes `x < 2^width`.
+    pub fn encode_u64(&self, x: u64) -> BitString {
+        debug_assert!(self.width == 64 || x < (1u64 << self.width));
+        BitString::from_bits((0..self.width).map(|k| (x >> k) & 1 != 0))
+    }
+
+    /// Decodes a full-width encoding.
+    pub fn decode_u64(&self, b: BitStr<'_>) -> u64 {
+        assert_eq!(b.len(), self.width as usize, "width mismatch");
+        let mut x = 0u64;
+        for i in 0..b.len() {
+            x |= (b.get(i) as u64) << i;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ninth_bit_roundtrip() {
+        let c = NinthBitCoder;
+        for s in [
+            &b""[..],
+            b"a",
+            b"abc",
+            b"http://example.com/a/b",
+            b"\x00\xff\x80",
+        ] {
+            let e = c.encode(s);
+            assert_eq!(e.len(), 9 * s.len() + 1);
+            assert_eq!(c.decode(e.as_bitstr()), s);
+        }
+    }
+
+    #[test]
+    fn ninth_bit_prefix_free() {
+        let c = NinthBitCoder;
+        let strs: [&[u8]; 5] = [b"", b"a", b"ab", b"abc", b"b"];
+        for (i, a) in strs.iter().enumerate() {
+            for (j, b) in strs.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let ea = c.encode(a);
+                let eb = c.encode(b);
+                assert!(
+                    !ea.as_bitstr().starts_with(&eb.as_bitstr()),
+                    "{a:?} encoding extends {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ninth_bit_order_preserving() {
+        let c = NinthBitCoder;
+        let mut strs: Vec<&[u8]> = vec![b"", b"a", b"aa", b"ab", b"b", b"ba", b"\xff", b"0"];
+        strs.sort();
+        let encoded: Vec<BitString> = strs.iter().map(|s| c.encode(s)).collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn ninth_bit_prefix_encoding_matches() {
+        let c = NinthBitCoder;
+        let full = c.encode(b"hello/world");
+        let pref = c.encode_prefix(b"hello/");
+        assert!(full.as_bitstr().starts_with(&pref.as_bitstr()));
+        let other = c.encode(b"hellx");
+        assert!(!other.as_bitstr().starts_with(&pref.as_bitstr()));
+        // a string equal to the prefix also matches (its encoding continues
+        // with the terminator, which is still an extension)
+        let eq = c.encode(b"hello/");
+        assert!(eq.as_bitstr().starts_with(&pref.as_bitstr()));
+    }
+
+    #[test]
+    fn fixed_width_roundtrips() {
+        let msb = FixedWidthMsb::new(17);
+        let lsb = FixedWidthLsb::new(17);
+        for x in [0u64, 1, 2, 100, (1 << 17) - 1] {
+            assert_eq!(msb.decode_u64(msb.encode_u64(x).as_bitstr()), x);
+            assert_eq!(lsb.decode_u64(lsb.encode_u64(x).as_bitstr()), x);
+        }
+        let msb64 = FixedWidthMsb::new(64);
+        assert_eq!(msb64.decode_u64(msb64.encode_u64(u64::MAX).as_bitstr()), u64::MAX);
+    }
+
+    #[test]
+    fn fixed_width_msb_order_preserving() {
+        let msb = FixedWidthMsb::new(12);
+        let vals = [0u64, 1, 5, 100, 2047, 4095];
+        for w in vals.windows(2) {
+            assert!(msb.encode_u64(w[0]) < msb.encode_u64(w[1]));
+        }
+    }
+
+    #[test]
+    fn lsb_matches_paper_layout() {
+        // §6: LSB-to-MSB. x = 0b110 at width 3 → bits 0,1,1.
+        let lsb = FixedWidthLsb::new(3);
+        let e = lsb.encode_u64(0b110);
+        assert_eq!(e.to_string(), "011");
+    }
+}

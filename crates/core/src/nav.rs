@@ -1,0 +1,274 @@
+//! Navigation abstraction shared by every Wavelet Trie variant, and the
+//! query algorithms of §3 (Lemmas 3.2/3.3) implemented once on top of it.
+//!
+//! The static structure addresses nodes through DFUDS positions; the
+//! dynamic ones through node references. [`TrieNav`] hides the difference so
+//! `Access`, `Rank`, `Select`, `RankPrefix`, `SelectPrefix` and all of §5's
+//! range algorithms have a single implementation, tested across backends.
+
+use wt_trie::{BitStr, BitString};
+
+/// Read-only navigation over a Wavelet Trie.
+///
+/// Internal nodes expose a label, a bitvector and two children; leaves only
+/// a label (Definition 3.1).
+pub trait TrieNav {
+    /// Node handle (copyable; borrows from `self`).
+    type Node<'a>: Copy
+    where
+        Self: 'a;
+
+    /// The root, or `None` if the sequence is empty.
+    fn nav_root(&self) -> Option<Self::Node<'_>>;
+
+    /// Sequence length `n`.
+    fn nav_len(&self) -> usize;
+
+    /// Whether `v` is a leaf.
+    fn nav_is_leaf<'a>(&'a self, v: Self::Node<'a>) -> bool;
+
+    /// Child of internal node `v` on branch `bit`.
+    fn nav_child<'a>(&'a self, v: Self::Node<'a>, bit: bool) -> Self::Node<'a>;
+
+    /// Length of the label α of `v`.
+    fn nav_label_len<'a>(&'a self, v: Self::Node<'a>) -> usize;
+
+    /// Bit `i` of the label of `v`.
+    fn nav_label_bit<'a>(&'a self, v: Self::Node<'a>, i: usize) -> bool;
+
+    /// Longest common prefix length between the label of `v` and `s`.
+    fn nav_label_lcp<'a>(&'a self, v: Self::Node<'a>, s: BitStr<'_>) -> usize;
+
+    /// Appends the label of `v` to `out`.
+    fn nav_label_append<'a>(&'a self, v: Self::Node<'a>, out: &mut BitString);
+
+    /// Length of the bitvector β of internal node `v` (= size of the
+    /// subsequence represented by `v`).
+    fn nav_bv_len<'a>(&'a self, v: Self::Node<'a>) -> usize;
+
+    /// Bit `i` of β.
+    fn nav_bv_get<'a>(&'a self, v: Self::Node<'a>, i: usize) -> bool;
+
+    /// Occurrences of `bit` in `β[0, i)`.
+    fn nav_bv_rank<'a>(&'a self, v: Self::Node<'a>, bit: bool, i: usize) -> usize;
+
+    /// Position of the `k`-th `bit` in β.
+    fn nav_bv_select<'a>(&'a self, v: Self::Node<'a>, bit: bool, k: usize) -> Option<usize>;
+
+    /// A key identifying `v` uniquely while the structure is unchanged
+    /// (used by the sequential iterator's cursor table).
+    fn nav_key<'a>(&'a self, v: Self::Node<'a>) -> usize;
+}
+
+/// Result of descending towards a query string.
+pub(crate) enum Descent<'a, T: TrieNav + 'a> {
+    /// The string/prefix is represented: node, mapped position bounds
+    /// unused here; path of (ancestor, branch bit) from root.
+    Found {
+        node: T::Node<'a>,
+        path: Vec<(T::Node<'a>, bool)>,
+    },
+    /// No stored string matches.
+    Absent,
+}
+
+/// `Access(pos)` — Lemma 3.2: O(h_s) bitvector ranks.
+pub(crate) fn access<T: TrieNav>(t: &T, pos: usize) -> BitString {
+    assert!(pos < t.nav_len(), "Access position out of bounds");
+    let mut out = BitString::new();
+    let mut v = t.nav_root().expect("nonempty");
+    let mut p = pos;
+    loop {
+        t.nav_label_append(v, &mut out);
+        if t.nav_is_leaf(v) {
+            return out;
+        }
+        let b = t.nav_bv_get(v, p);
+        out.push(b);
+        p = t.nav_bv_rank(v, b, p);
+        v = t.nav_child(v, b);
+    }
+}
+
+/// Descends consuming the *exact* string `s`; `Found` iff `s ∈ Sset`.
+pub(crate) fn descend_exact<'a, T: TrieNav>(t: &'a T, s: BitStr<'_>) -> Descent<'a, T> {
+    let mut v = match t.nav_root() {
+        Some(v) => v,
+        None => return Descent::Absent,
+    };
+    let mut delta = 0usize;
+    let mut path = Vec::new();
+    loop {
+        let rest = s.suffix(delta);
+        let l = t.nav_label_lcp(v, rest);
+        if l < t.nav_label_len(v) {
+            return Descent::Absent;
+        }
+        delta += l;
+        if t.nav_is_leaf(v) {
+            return if delta == s.len() {
+                Descent::Found { node: v, path }
+            } else {
+                Descent::Absent
+            };
+        }
+        if delta == s.len() {
+            // s is a proper prefix of every string below: not an element.
+            return Descent::Absent;
+        }
+        let b = s.get(delta);
+        delta += 1;
+        path.push((v, b));
+        v = t.nav_child(v, b);
+    }
+}
+
+/// Descends consuming the *prefix* `p`; `Found` gives the node `n_p` of
+/// Lemma 3.3 whose subtree holds exactly the strings with prefix `p`.
+pub(crate) fn descend_prefix<'a, T: TrieNav>(t: &'a T, p: BitStr<'_>) -> Descent<'a, T> {
+    let mut v = match t.nav_root() {
+        Some(v) => v,
+        None => return Descent::Absent,
+    };
+    let mut delta = 0usize;
+    let mut path = Vec::new();
+    loop {
+        let rest = p.suffix(delta);
+        let l = t.nav_label_lcp(v, rest);
+        delta += l;
+        if delta == p.len() {
+            // p exhausted (possibly mid-label): subtree of v is the match.
+            return Descent::Found { node: v, path };
+        }
+        if l < t.nav_label_len(v) || t.nav_is_leaf(v) {
+            return Descent::Absent;
+        }
+        let b = p.get(delta);
+        delta += 1;
+        path.push((v, b));
+        v = t.nav_child(v, b);
+    }
+}
+
+/// Maps a position downward through the recorded path.
+fn map_down<'a, T: TrieNav>(t: &'a T, path: &[(T::Node<'a>, bool)], pos: usize) -> usize {
+    let mut p = pos;
+    for &(v, b) in path {
+        p = t.nav_bv_rank(v, b, p);
+    }
+    p
+}
+
+/// `Rank(s, pos)` — occurrences of the exact string `s` in positions `[0, pos)`.
+pub(crate) fn rank<T: TrieNav>(t: &T, s: BitStr<'_>, pos: usize) -> usize {
+    assert!(pos <= t.nav_len(), "Rank position out of bounds");
+    match descend_exact(t, s) {
+        Descent::Absent => 0,
+        Descent::Found { path, .. } => map_down(t, &path, pos),
+    }
+}
+
+/// `RankPrefix(p, pos)` — strings with prefix `p` in positions `[0, pos)`
+/// (Lemma 3.3).
+pub(crate) fn rank_prefix<T: TrieNav>(t: &T, p: BitStr<'_>, pos: usize) -> usize {
+    assert!(pos <= t.nav_len(), "RankPrefix position out of bounds");
+    match descend_prefix(t, p) {
+        Descent::Absent => 0,
+        Descent::Found { path, .. } => map_down(t, &path, pos),
+    }
+}
+
+/// Walks a mapped index back up through the path with selects.
+fn map_up<'a, T: TrieNav>(t: &'a T, path: &[(T::Node<'a>, bool)], idx: usize) -> Option<usize> {
+    let mut i = idx;
+    for &(v, b) in path.iter().rev() {
+        i = t.nav_bv_select(v, b, i)?;
+    }
+    Some(i)
+}
+
+/// Number of occurrences of the subtree rooted at `node` (given its path).
+fn subtree_count<'a, T: TrieNav>(t: &'a T, node: T::Node<'a>, path: &[(T::Node<'a>, bool)]) -> usize {
+    if !t.nav_is_leaf(node) {
+        t.nav_bv_len(node)
+    } else {
+        match path.last() {
+            Some(&(parent, b)) => t.nav_bv_rank(parent, b, t.nav_bv_len(parent)),
+            None => t.nav_len(), // root leaf: the whole sequence
+        }
+    }
+}
+
+/// `Select(s, idx)` — position of the `idx`-th (0-based) occurrence of `s`.
+pub(crate) fn select<T: TrieNav>(t: &T, s: BitStr<'_>, idx: usize) -> Option<usize> {
+    match descend_exact(t, s) {
+        Descent::Absent => None,
+        Descent::Found { node, path } => {
+            if idx >= subtree_count(t, node, &path) {
+                return None;
+            }
+            map_up(t, &path, idx)
+        }
+    }
+}
+
+/// `SelectPrefix(p, idx)` — position of the `idx`-th string with prefix `p`.
+pub(crate) fn select_prefix<T: TrieNav>(t: &T, p: BitStr<'_>, idx: usize) -> Option<usize> {
+    match descend_prefix(t, p) {
+        Descent::Absent => None,
+        Descent::Found { node, path } => {
+            if idx >= subtree_count(t, node, &path) {
+                return None;
+            }
+            map_up(t, &path, idx)
+        }
+    }
+}
+
+/// Number of occurrences of `s` in the whole sequence.
+pub(crate) fn count<T: TrieNav>(t: &T, s: BitStr<'_>) -> usize {
+    rank(t, s, t.nav_len())
+}
+
+/// Number of strings with prefix `p` in the whole sequence.
+pub(crate) fn count_prefix<T: TrieNav>(t: &T, p: BitStr<'_>) -> usize {
+    rank_prefix(t, p, t.nav_len())
+}
+
+/// Maximum number of internal nodes on any root-to-leaf path (trie height).
+pub(crate) fn height<T: TrieNav>(t: &T) -> usize {
+    fn rec<'a, T: TrieNav>(t: &'a T, v: T::Node<'a>) -> usize {
+        if t.nav_is_leaf(v) {
+            0
+        } else {
+            1 + rec(t, t.nav_child(v, false)).max(rec(t, t.nav_child(v, true)))
+        }
+    }
+    t.nav_root().map_or(0, |r| rec(t, r))
+}
+
+/// Sum of all bitvector lengths = `h̃·n` (Definition 3.4 discussion).
+pub(crate) fn total_bitvector_bits<T: TrieNav>(t: &T) -> usize {
+    fn rec<'a, T: TrieNav>(t: &'a T, v: T::Node<'a>) -> usize {
+        if t.nav_is_leaf(v) {
+            0
+        } else {
+            t.nav_bv_len(v)
+                + rec(t, t.nav_child(v, false))
+                + rec(t, t.nav_child(v, true))
+        }
+    }
+    t.nav_root().map_or(0, |r| rec(t, r))
+}
+
+/// Number of distinct strings (leaves).
+pub(crate) fn distinct_count<T: TrieNav>(t: &T) -> usize {
+    fn rec<'a, T: TrieNav>(t: &'a T, v: T::Node<'a>) -> usize {
+        if t.nav_is_leaf(v) {
+            1
+        } else {
+            rec(t, t.nav_child(v, false)) + rec(t, t.nav_child(v, true))
+        }
+    }
+    t.nav_root().map_or(0, |r| rec(t, r))
+}

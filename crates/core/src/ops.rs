@@ -1,0 +1,163 @@
+//! The public query interface shared by all Wavelet Trie variants.
+//!
+//! [`SequenceOps`] is blanket-implemented for every type that knows how to
+//! navigate its trie ([`TrieNav`]), so the static, append-only and fully
+//! dynamic structures expose the paper's operations (§1 primitive list,
+//! Lemmas 3.2/3.3) and the §5 range algorithms through one interface.
+
+use crate::nav::{self, TrieNav};
+use crate::range::{self, RangeIter};
+use wt_trie::{BitStr, BitString};
+
+/// Queries over an indexed sequence of binary strings.
+///
+/// Positions are 0-based; `rank`-style bounds are exclusive (`[0, pos)`);
+/// `select`-style indices are 0-based occurrence numbers.
+pub trait SequenceOps: TrieNav + Sized {
+    /// Number of strings in the sequence.
+    fn seq_len(&self) -> usize {
+        self.nav_len()
+    }
+
+    /// Whether the sequence is empty.
+    fn seq_is_empty(&self) -> bool {
+        self.nav_len() == 0
+    }
+
+    /// `Access(pos)`: the string at position `pos`.
+    ///
+    /// # Panics
+    /// If `pos >= seq_len()`.
+    fn access(&self, pos: usize) -> BitString {
+        nav::access(self, pos)
+    }
+
+    /// `Rank(s, pos)`: occurrences of `s` in positions `[0, pos)`.
+    fn rank(&self, s: BitStr<'_>, pos: usize) -> usize {
+        nav::rank(self, s, pos)
+    }
+
+    /// `Select(s, idx)`: position of the `idx`-th (0-based) occurrence of `s`.
+    fn select(&self, s: BitStr<'_>, idx: usize) -> Option<usize> {
+        nav::select(self, s, idx)
+    }
+
+    /// `RankPrefix(p, pos)`: strings with prefix `p` in positions `[0, pos)`.
+    fn rank_prefix(&self, p: BitStr<'_>, pos: usize) -> usize {
+        nav::rank_prefix(self, p, pos)
+    }
+
+    /// `SelectPrefix(p, idx)`: position of the `idx`-th string with prefix `p`.
+    fn select_prefix(&self, p: BitStr<'_>, idx: usize) -> Option<usize> {
+        nav::select_prefix(self, p, idx)
+    }
+
+    /// Total occurrences of `s`.
+    fn count(&self, s: BitStr<'_>) -> usize {
+        nav::count(self, s)
+    }
+
+    /// Total strings with prefix `p`.
+    fn count_prefix(&self, p: BitStr<'_>) -> usize {
+        nav::count_prefix(self, p)
+    }
+
+    /// Occurrences of `s` in `[l, r)` (range counting, §1).
+    fn range_count(&self, s: BitStr<'_>, l: usize, r: usize) -> usize {
+        assert!(l <= r, "range out of bounds");
+        self.rank(s, r) - self.rank(s, l)
+    }
+
+    /// Strings with prefix `p` in `[l, r)`.
+    fn range_count_prefix(&self, p: BitStr<'_>, l: usize, r: usize) -> usize {
+        assert!(l <= r, "range out of bounds");
+        self.rank_prefix(p, r) - self.rank_prefix(p, l)
+    }
+
+    /// Number of distinct strings (|Sset|).
+    fn distinct_len(&self) -> usize {
+        nav::distinct_count(self)
+    }
+
+    /// Trie height: max internal nodes on a root-to-leaf path.
+    fn height(&self) -> usize {
+        nav::height(self)
+    }
+
+    /// Average height `h̃` (Definition 3.4): total bitvector bits / n.
+    fn avg_height(&self) -> f64 {
+        if self.nav_len() == 0 {
+            0.0
+        } else {
+            nav::total_bitvector_bits(self) as f64 / self.nav_len() as f64
+        }
+    }
+
+    /// Sum of all node bitvector lengths (= `h̃·n`, §3).
+    fn total_bitvector_bits(&self) -> usize {
+        nav::total_bitvector_bits(self)
+    }
+
+    /// Distinct strings of `S[l, r)` with counts, lexicographically (§5).
+    fn distinct_in_range(&self, l: usize, r: usize) -> Vec<(BitString, usize)> {
+        let mut out = Vec::new();
+        range::distinct_in_range(self, l, r, &mut |s, c| out.push((s.clone(), c)));
+        out
+    }
+
+    /// Distinct strings with prefix `p` in `S[l, r)` with counts (§5).
+    fn distinct_in_range_with_prefix(
+        &self,
+        p: BitStr<'_>,
+        l: usize,
+        r: usize,
+    ) -> Vec<(BitString, usize)> {
+        let mut out = Vec::new();
+        range::distinct_in_range_with_prefix(self, p, l, r, &mut |s, c| out.push((s.clone(), c)));
+        out
+    }
+
+    /// Distinct `depth`-bit prefixes of `S[l, r)` with counts (§5
+    /// stop-early enumeration; e.g. distinct hostnames in a time window).
+    /// Strings shorter than `depth` are reported whole.
+    fn distinct_prefixes_in_range(
+        &self,
+        l: usize,
+        r: usize,
+        depth: usize,
+    ) -> Vec<(BitString, usize)> {
+        let mut out = Vec::new();
+        range::distinct_prefixes_in_range(self, l, r, depth, &mut |s, c| out.push((s.clone(), c)));
+        out
+    }
+
+    /// Majority element of `S[l, r)` (> (r−l)/2 occurrences), if any (§5).
+    fn range_majority(&self, l: usize, r: usize) -> Option<(BitString, usize)> {
+        range::range_majority(self, l, r)
+    }
+
+    /// All strings occurring ≥ `min_count` times in `S[l, r)` (§5 heuristic).
+    fn range_frequent(&self, l: usize, r: usize, min_count: usize) -> Vec<(BitString, usize)> {
+        let mut out = Vec::new();
+        range::range_frequent(self, l, r, min_count, &mut |s, c| out.push((s.clone(), c)));
+        out
+    }
+
+    /// Sequential iterator over `S[l, r)` (§5 "Sequential access").
+    fn iter_range(&self, l: usize, r: usize) -> RangeIter<'_, Self> {
+        RangeIter::new(self, l, r)
+    }
+
+    /// Iterator over the whole sequence.
+    fn iter_seq(&self) -> RangeIter<'_, Self> {
+        self.iter_range(0, self.nav_len())
+    }
+
+    /// Iterator over the `idx0`-th to `idx1`-th (exclusive) strings having
+    /// prefix `p`, in sequence order.
+    fn iter_prefix_matches(&self, p: BitStr<'_>, idx0: usize, idx1: usize) -> RangeIter<'_, Self> {
+        RangeIter::new_with_prefix(self, p, idx0, idx1)
+    }
+}
+
+impl<T: TrieNav> SequenceOps for T {}

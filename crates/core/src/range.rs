@@ -1,0 +1,347 @@
+//! Range query algorithms (§5 of the paper), implemented once over
+//! [`TrieNav`] so every Wavelet Trie variant gets them.
+//!
+//! * sequential access over `[l, r)` with per-node iterators (one Rank per
+//!   traversed node, then O(1) advances);
+//! * distinct values in range, with counts;
+//! * range majority element;
+//! * the "at least t occurrences" heuristic;
+//! * prefix-restricted variants of all of the above (stop-early traversal).
+
+use crate::nav::{descend_prefix, Descent, TrieNav};
+use std::collections::HashMap;
+use wt_trie::{BitStr, BitString};
+
+/// Enumerates the distinct strings of `S[l, r)` with their occurrence
+/// counts, in lexicographic order. O(Σ_{s∈distinct} (|s| + h_s · C_op)).
+pub(crate) fn distinct_in_range<T: TrieNav>(
+    t: &T,
+    l: usize,
+    r: usize,
+    f: &mut impl FnMut(&BitString, usize),
+) {
+    assert!(l <= r && r <= t.nav_len(), "range out of bounds");
+    if l == r {
+        return;
+    }
+    let root = t.nav_root().expect("nonempty");
+    let mut prefix = BitString::new();
+    distinct_rec(t, root, l, r, &mut prefix, f);
+}
+
+fn distinct_rec<'a, T: TrieNav>(
+    t: &'a T,
+    v: T::Node<'a>,
+    l: usize,
+    r: usize,
+    prefix: &mut BitString,
+    f: &mut impl FnMut(&BitString, usize),
+) {
+    let save = prefix.len();
+    t.nav_label_append(v, prefix);
+    if t.nav_is_leaf(v) {
+        f(prefix, r - l);
+        prefix.truncate(save);
+        return;
+    }
+    let zl = t.nav_bv_rank(v, false, l);
+    let zr = t.nav_bv_rank(v, false, r);
+    if zr > zl {
+        prefix.push(false);
+        distinct_rec(t, t.nav_child(v, false), zl, zr, prefix, f);
+        prefix.truncate(prefix.len() - 1);
+    }
+    let (ol, or) = (l - zl, r - zr);
+    if or > ol {
+        prefix.push(true);
+        distinct_rec(t, t.nav_child(v, true), ol, or, prefix, f);
+        prefix.truncate(prefix.len() - 1);
+    }
+    prefix.truncate(save);
+}
+
+/// Distinct strings with prefix `p` in `S[l, r)` (stop-early variant).
+pub(crate) fn distinct_in_range_with_prefix<T: TrieNav>(
+    t: &T,
+    p: BitStr<'_>,
+    l: usize,
+    r: usize,
+    f: &mut impl FnMut(&BitString, usize),
+) {
+    assert!(l <= r && r <= t.nav_len(), "range out of bounds");
+    if l == r {
+        return;
+    }
+    match descend_prefix(t, p) {
+        Descent::Absent => {}
+        Descent::Found { node, path } => {
+            let (mut l, mut r) = (l, r);
+            let mut prefix = BitString::new();
+            for &(v, b) in &path {
+                t.nav_label_append(v, &mut prefix);
+                prefix.push(b);
+                l = t.nav_bv_rank(v, b, l);
+                r = t.nav_bv_rank(v, b, r);
+            }
+            if l < r {
+                distinct_rec(t, node, l, r, &mut prefix, f);
+            }
+        }
+    }
+}
+
+/// Enumerates the distinct `depth`-bit *prefixes* of the strings in
+/// `S[l, r)` with occurrence counts (§5: "We can stop early in the
+/// traversal, hence enumerating the distinct prefixes … for example in an
+/// URL access log we can find efficiently the distinct hostnames in a given
+/// time range"). Strings shorter than `depth` are reported whole.
+pub(crate) fn distinct_prefixes_in_range<T: TrieNav>(
+    t: &T,
+    l: usize,
+    r: usize,
+    depth: usize,
+    f: &mut impl FnMut(&BitString, usize),
+) {
+    assert!(l <= r && r <= t.nav_len(), "range out of bounds");
+    if l == r {
+        return;
+    }
+    let root = t.nav_root().expect("nonempty");
+    let mut prefix = BitString::new();
+    prefix_rec(t, root, l, r, depth, &mut prefix, f);
+}
+
+fn prefix_rec<'a, T: TrieNav>(
+    t: &'a T,
+    v: T::Node<'a>,
+    l: usize,
+    r: usize,
+    depth: usize,
+    prefix: &mut BitString,
+    f: &mut impl FnMut(&BitString, usize),
+) {
+    let save = prefix.len();
+    t.nav_label_append(v, prefix);
+    if prefix.len() >= depth {
+        // Stop early: everything below shares this prefix.
+        let keep = prefix.len();
+        prefix.truncate(depth);
+        f(prefix, r - l);
+        // restore for caller bookkeeping (truncate below handles it)
+        let _ = keep;
+        prefix.truncate(save);
+        return;
+    }
+    if t.nav_is_leaf(v) {
+        f(prefix, r - l); // whole string shorter than depth
+        prefix.truncate(save);
+        return;
+    }
+    let zl = t.nav_bv_rank(v, false, l);
+    let zr = t.nav_bv_rank(v, false, r);
+    if zr > zl {
+        prefix.push(false);
+        prefix_rec(t, t.nav_child(v, false), zl, zr, depth, prefix, f);
+        prefix.truncate(prefix.len() - 1);
+    }
+    let (ol, or) = (l - zl, r - zr);
+    if or > ol {
+        prefix.push(true);
+        prefix_rec(t, t.nav_child(v, true), ol, or, depth, prefix, f);
+        prefix.truncate(prefix.len() - 1);
+    }
+    prefix.truncate(save);
+}
+
+/// The majority element of `S[l, r)` (> (r−l)/2 occurrences), if any.
+/// O(h · C_op); on success O(h_s · C_op).
+pub(crate) fn range_majority<T: TrieNav>(t: &T, l: usize, r: usize) -> Option<(BitString, usize)> {
+    assert!(l <= r && r <= t.nav_len(), "range out of bounds");
+    if l == r {
+        return None;
+    }
+    let total = r - l;
+    let mut v = t.nav_root().expect("nonempty");
+    let (mut l, mut r) = (l, r);
+    let mut out = BitString::new();
+    loop {
+        t.nav_label_append(v, &mut out);
+        if t.nav_is_leaf(v) {
+            let count = r - l;
+            return (2 * count > total).then_some((out, count));
+        }
+        let zl = t.nav_bv_rank(v, false, l);
+        let zr = t.nav_bv_rank(v, false, r);
+        let zeros = zr - zl;
+        let ones = (r - l) - zeros;
+        if 2 * zeros > total {
+            out.push(false);
+            v = t.nav_child(v, false);
+            l = zl;
+            r = zr;
+        } else if 2 * ones > total {
+            out.push(true);
+            v = t.nav_child(v, true);
+            l -= zl;
+            r -= zr;
+        } else {
+            return None;
+        }
+    }
+}
+
+/// The §5 heuristic: every string occurring at least `min_count` times in
+/// `S[l, r)`, found by pruning branches with fewer than `min_count` bits.
+pub(crate) fn range_frequent<T: TrieNav>(
+    t: &T,
+    l: usize,
+    r: usize,
+    min_count: usize,
+    f: &mut impl FnMut(&BitString, usize),
+) {
+    assert!(l <= r && r <= t.nav_len(), "range out of bounds");
+    let min_count = min_count.max(1);
+    if r - l < min_count {
+        return;
+    }
+    let root = t.nav_root().expect("nonempty");
+    let mut prefix = BitString::new();
+    frequent_rec(t, root, l, r, min_count, &mut prefix, f);
+}
+
+fn frequent_rec<'a, T: TrieNav>(
+    t: &'a T,
+    v: T::Node<'a>,
+    l: usize,
+    r: usize,
+    min_count: usize,
+    prefix: &mut BitString,
+    f: &mut impl FnMut(&BitString, usize),
+) {
+    let save = prefix.len();
+    t.nav_label_append(v, prefix);
+    if t.nav_is_leaf(v) {
+        debug_assert!(r - l >= min_count);
+        f(prefix, r - l);
+        prefix.truncate(save);
+        return;
+    }
+    let zl = t.nav_bv_rank(v, false, l);
+    let zr = t.nav_bv_rank(v, false, r);
+    if zr - zl >= min_count {
+        prefix.push(false);
+        frequent_rec(t, t.nav_child(v, false), zl, zr, min_count, prefix, f);
+        prefix.truncate(prefix.len() - 1);
+    }
+    if (r - zr) - (l - zl) >= min_count {
+        prefix.push(true);
+        frequent_rec(t, t.nav_child(v, true), l - zl, r - zr, min_count, prefix, f);
+        prefix.truncate(prefix.len() - 1);
+    }
+    prefix.truncate(save);
+}
+
+/// Sequential iterator over `S[l, r)` (§5 "Sequential access"): one Rank per
+/// node on first traversal, then cursor advances; extracting the `i`-th
+/// string costs O(|s_i|) plus amortized shared-path work.
+pub struct RangeIter<'a, T: TrieNav> {
+    t: &'a T,
+    /// node key → cursor position inside that node's bitvector.
+    cursors: HashMap<usize, usize>,
+    /// node to start each walk from (root, or `n_p` for prefix iteration).
+    start: Option<T::Node<'a>>,
+    /// string prefix accumulated above `start` (prefix iteration).
+    head: BitString,
+    remaining: usize,
+}
+
+impl<'a, T: TrieNav> RangeIter<'a, T> {
+    /// Iterates `S[l, r)`.
+    pub(crate) fn new(t: &'a T, l: usize, r: usize) -> Self {
+        assert!(l <= r && r <= t.nav_len(), "range out of bounds");
+        let start = t.nav_root();
+        let mut cursors = HashMap::new();
+        if let Some(v) = start {
+            cursors.insert(t.nav_key(v), l);
+        }
+        RangeIter {
+            t,
+            cursors,
+            start,
+            head: BitString::new(),
+            remaining: r - l,
+        }
+    }
+
+    /// Iterates the strings with prefix `p` among the `idx`-th to `end`-th
+    /// (exclusive) matches; built by the prefix-restricted entry points.
+    pub(crate) fn new_with_prefix(t: &'a T, p: BitStr<'_>, l: usize, r: usize) -> Self {
+        assert!(l <= r, "range out of bounds");
+        match descend_prefix(t, p) {
+            Descent::Absent => RangeIter {
+                t,
+                cursors: HashMap::new(),
+                start: None,
+                head: BitString::new(),
+                remaining: 0,
+            },
+            Descent::Found { node, path } => {
+                let mut head = BitString::new();
+                for &(v, b) in &path {
+                    t.nav_label_append(v, &mut head);
+                    head.push(b);
+                }
+                let total = crate::nav::count_prefix(t, p);
+                let l = l.min(total);
+                let r = r.min(total);
+                let mut cursors = HashMap::new();
+                cursors.insert(t.nav_key(node), l);
+                RangeIter {
+                    t,
+                    cursors,
+                    start: Some(node),
+                    head,
+                    remaining: r - l,
+                }
+            }
+        }
+    }
+}
+
+impl<'a, T: TrieNav> Iterator for RangeIter<'a, T> {
+    type Item = BitString;
+
+    fn next(&mut self) -> Option<BitString> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let t = self.t;
+        let mut v = self.start?;
+        let mut out = self.head.clone();
+        loop {
+            t.nav_label_append(v, &mut out);
+            if t.nav_is_leaf(v) {
+                return Some(out);
+            }
+            let key = t.nav_key(v);
+            let c = *self.cursors.get(&key).expect("cursor seeded");
+            let b = t.nav_bv_get(v, c);
+            self.cursors.insert(key, c + 1);
+            out.push(b);
+            let child = t.nav_child(v, b);
+            let ck = t.nav_key(child);
+            self.cursors.entry(ck).or_insert_with(|| {
+                
+                t.nav_bv_rank(v, b, c)
+            });
+            v = child;
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, T: TrieNav> ExactSizeIterator for RangeIter<'a, T> {}

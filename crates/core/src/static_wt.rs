@@ -1,0 +1,614 @@
+//! The static Wavelet Trie (§3, Theorem 3.7).
+//!
+//! Representation exactly as in the paper:
+//! * tree shape: DFUDS (2 bits per node + o());
+//! * node labels α concatenated in preorder into the bitvector `L`,
+//!   delimited by an Elias–Fano partial-sum structure;
+//! * node bitvectors β concatenated in (internal-node) preorder, compressed
+//!   with RRR, delimited by a second Elias–Fano structure.
+//!
+//! Space is `LT(Sset) + nH0(S) + o(h̃n)` bits (Theorem 3.7) — measured and
+//! reported by [`WaveletTrie::space_breakdown`]; operations are
+//! O(|s| + h_s).
+
+use crate::nav::TrieNav;
+use wt_bits::{BitAccess, BitRank, BitSelect, EliasFano, Fid, RawBitVec, RrrVector, SpaceUsage};
+use wt_trie::dfuds::Dfuds;
+use wt_trie::{BitStr, BitString, PrefixFreeViolation};
+
+/// An immutable compressed indexed sequence of binary strings.
+#[derive(Clone, Debug)]
+pub struct WaveletTrie {
+    n: usize,
+    tree: Dfuds,
+    /// Concatenated labels (all nodes, preorder; root label included).
+    labels: RawBitVec,
+    /// Prefix sums of label lengths, indexed by preorder id (len = nodes+1).
+    label_bounds: EliasFano,
+    /// Preorder id → is internal.
+    internal: Fid,
+    /// Concatenated internal-node bitvectors, preorder order, RRR-compressed.
+    bvs: RrrVector,
+    /// Prefix sums of bitvector lengths (len = internals+1).
+    bv_bounds: EliasFano,
+    /// `n·H0(S)` in bits, computed during construction (for the space report).
+    nh0_bits: f64,
+    /// Length of the root label (excluded from `|L|` in Theorem 3.6).
+    root_label_len: usize,
+}
+
+/// Measured space of each component of the static Wavelet Trie, against the
+/// information-theoretic quantities of §3 (experiment E4).
+#[derive(Clone, Copy, Debug)]
+pub struct StaticSpaceBreakdown {
+    /// Sequence length n.
+    pub n: usize,
+    /// Distinct strings |Sset|.
+    pub distinct: usize,
+    /// DFUDS bits including rank/select/rmM directories.
+    pub tree_bits: usize,
+    /// Raw concatenated label bits (all nodes).
+    pub label_bits: usize,
+    /// Elias–Fano delimiters for labels.
+    pub label_delim_bits: usize,
+    /// RRR-compressed bitvector bits (including directories).
+    pub bv_bits: usize,
+    /// Elias–Fano delimiters for bitvectors.
+    pub bv_delim_bits: usize,
+    /// Internal-flag FID bits.
+    pub flags_bits: usize,
+    /// Total measured bits.
+    pub total_bits: usize,
+    /// `LT(Sset)` lower bound of Theorem 3.6 (bits).
+    pub lt_bits: f64,
+    /// `n·H0(S)` (bits).
+    pub nh0_bits: f64,
+    /// `LB = LT + nH0` (bits).
+    pub lb_bits: f64,
+    /// `h̃·n`: total bitvector length (bits) — the redundancy scale o(h̃n).
+    pub hn_bits: usize,
+}
+
+impl WaveletTrie {
+    /// Builds the Wavelet Trie of a sequence of binary strings
+    /// (Definition 3.1).
+    ///
+    /// # Errors
+    /// [`PrefixFreeViolation`] if the underlying string set is not
+    /// prefix-free (§3 requires it; see [`crate::binarize`] for coders that
+    /// guarantee it).
+    pub fn from_bitstrings<I>(seq: I) -> Result<Self, PrefixFreeViolation>
+    where
+        I: IntoIterator<Item = BitString>,
+    {
+        let strings: Vec<BitString> = seq.into_iter().collect();
+        Self::build(&strings)
+    }
+
+    /// Builds from a slice of binary strings.
+    pub fn build(strings: &[BitString]) -> Result<Self, PrefixFreeViolation> {
+        let n = strings.len();
+        if n == 0 {
+            return Ok(WaveletTrie {
+                n: 0,
+                tree: Dfuds::from_degrees(std::iter::empty()),
+                labels: RawBitVec::new(),
+                label_bounds: EliasFano::prefix_sums(std::iter::empty()),
+                internal: Fid::new(RawBitVec::new()),
+                bvs: RrrVector::new(&RawBitVec::new()),
+                bv_bounds: EliasFano::prefix_sums(std::iter::empty()),
+                nh0_bits: 0.0,
+                root_label_len: 0,
+            });
+        }
+        struct Frame {
+            idx: Vec<u32>,
+            delta: usize,
+        }
+        let mut stack = vec![Frame {
+            idx: (0..n as u32).collect(),
+            delta: 0,
+        }];
+        let mut degrees: Vec<usize> = Vec::new();
+        // (string id, bit offset, length) of each node's label, preorder.
+        let mut label_refs: Vec<(u32, usize, usize)> = Vec::new();
+        let mut bv_concat = RawBitVec::new();
+        let mut bv_lens: Vec<u64> = Vec::new();
+        let mut nh0 = 0.0f64;
+        let mut root_label_len = 0usize;
+        let mut first_node = true;
+        while let Some(Frame { idx, delta }) = stack.pop() {
+            let first_id = idx[0] as usize;
+            let first = strings[first_id].suffix(delta);
+            let mut l = first.len();
+            let mut min_rem = first.len();
+            let mut max_rem = first.len();
+            for &i in &idx[1..] {
+                let other = strings[i as usize].suffix(delta);
+                min_rem = min_rem.min(other.len());
+                max_rem = max_rem.max(other.len());
+                if l > 0 {
+                    let cap = l.min(other.len());
+                    let m = first.prefix(cap).lcp(&other.prefix(cap));
+                    l = m;
+                }
+            }
+            l = l.min(min_rem);
+            if l == min_rem && min_rem != max_rem {
+                // Some string ends where another continues: not prefix-free.
+                return Err(PrefixFreeViolation);
+            }
+            if first_node {
+                root_label_len = l;
+                first_node = false;
+            }
+            if l == min_rem {
+                // All strings identical from delta: a leaf (Def. 3.1 case i).
+                degrees.push(0);
+                label_refs.push((first_id as u32, delta, l));
+                let c = idx.len() as f64;
+                nh0 += c * (n as f64 / c).log2();
+                continue;
+            }
+            // Internal node (Def. 3.1 case ii).
+            degrees.push(2);
+            label_refs.push((first_id as u32, delta, l));
+            let branch = delta + l;
+            let mut idx0 = Vec::new();
+            let mut idx1 = Vec::new();
+            for &i in &idx {
+                let b = strings[i as usize].get(branch);
+                bv_concat.push(b);
+                if b {
+                    idx1.push(i);
+                } else {
+                    idx0.push(i);
+                }
+            }
+            bv_lens.push(idx.len() as u64);
+            debug_assert!(!idx0.is_empty() && !idx1.is_empty());
+            // Preorder: child 0 first, so push child 1 below it on the stack.
+            stack.push(Frame {
+                idx: idx1,
+                delta: branch + 1,
+            });
+            stack.push(Frame {
+                idx: idx0,
+                delta: branch + 1,
+            });
+        }
+        let tree = Dfuds::from_degrees(degrees.iter().copied());
+        let mut labels = RawBitVec::new();
+        for &(id, start, len) in &label_refs {
+            labels.extend_from_range(strings[id as usize].raw(), start, len);
+        }
+        let label_bounds = EliasFano::prefix_sums(label_refs.iter().map(|&(_, _, l)| l as u64));
+        let internal = Fid::from_bits(degrees.iter().map(|&d| d == 2));
+        let bv_bounds = EliasFano::prefix_sums(bv_lens.iter().copied());
+        let bvs = RrrVector::new(&bv_concat);
+        Ok(WaveletTrie {
+            n,
+            tree,
+            labels,
+            label_bounds,
+            internal,
+            bvs,
+            bv_bounds,
+            nh0_bits: nh0,
+            root_label_len,
+        })
+    }
+
+    /// Sequence length n.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of trie nodes (2|Sset| − 1 for |Sset| ≥ 1).
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.tree.n_nodes()
+    }
+
+    #[inline]
+    fn label_range(&self, v: usize) -> (usize, usize) {
+        let pid = self.tree.preorder(v);
+        let s = self.label_bounds.get(pid) as usize;
+        let e = self.label_bounds.get(pid + 1) as usize;
+        (s, e)
+    }
+
+    #[inline]
+    fn bv_range(&self, v: usize) -> (usize, usize) {
+        let pid = self.tree.preorder(v);
+        debug_assert!(self.internal.get(pid));
+        let j = self.internal.rank1(pid);
+        let s = self.bv_bounds.get(j) as usize;
+        let e = self.bv_bounds.get(j + 1) as usize;
+        (s, e)
+    }
+
+    /// Measured vs. information-theoretic space (experiment E4).
+    pub fn space_breakdown(&self) -> StaticSpaceBreakdown {
+        let distinct = if self.n == 0 {
+            0
+        } else {
+            self.tree.n_nodes().div_ceil(2)
+        };
+        let tree_bits = self.tree.size_bits();
+        let label_bits = self.labels.len();
+        let label_delim_bits = self.label_bounds.size_bits();
+        let bv_bits = self.bvs.size_bits();
+        let bv_delim_bits = self.bv_bounds.size_bits();
+        let flags_bits = self.internal.size_bits();
+        let total_bits = self.labels.size_bits()
+            + tree_bits
+            + label_delim_bits
+            + bv_bits
+            + bv_delim_bits
+            + flags_bits;
+        // LT(Sset) = |L| + e + B(e, |L| + e), L excluding the root label.
+        let l_bits = label_bits.saturating_sub(self.root_label_len);
+        let e = self.tree.n_nodes().saturating_sub(1);
+        let lt_bits = if distinct <= 1 {
+            l_bits as f64
+        } else {
+            l_bits as f64 + e as f64 + wt_bits::entropy::binomial_bound_bits(l_bits + e, e)
+        };
+        StaticSpaceBreakdown {
+            n: self.n,
+            distinct,
+            tree_bits,
+            label_bits,
+            label_delim_bits,
+            bv_bits,
+            bv_delim_bits,
+            flags_bits,
+            total_bits,
+            lt_bits,
+            nh0_bits: self.nh0_bits,
+            lb_bits: lt_bits + self.nh0_bits,
+            hn_bits: self.bvs.len(),
+        }
+    }
+
+    /// `n·H0(S)` in bits.
+    pub fn nh0_bits(&self) -> f64 {
+        self.nh0_bits
+    }
+}
+
+impl SpaceUsage for WaveletTrie {
+    fn size_bits(&self) -> usize {
+        self.space_breakdown().total_bits
+    }
+}
+
+impl TrieNav for WaveletTrie {
+    type Node<'a> = usize;
+
+    #[inline]
+    fn nav_root(&self) -> Option<usize> {
+        if self.n == 0 {
+            None
+        } else {
+            self.tree.root()
+        }
+    }
+
+    #[inline]
+    fn nav_len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn nav_is_leaf(&self, v: usize) -> bool {
+        self.tree.is_leaf(v)
+    }
+
+    #[inline]
+    fn nav_child(&self, v: usize, bit: bool) -> usize {
+        self.tree.child(v, bit as usize)
+    }
+
+    #[inline]
+    fn nav_label_len(&self, v: usize) -> usize {
+        let (s, e) = self.label_range(v);
+        e - s
+    }
+
+    #[inline]
+    fn nav_label_bit(&self, v: usize, i: usize) -> bool {
+        let (s, e) = self.label_range(v);
+        debug_assert!(i < e - s);
+        self.labels.get(s + i)
+    }
+
+    #[inline]
+    fn nav_label_lcp(&self, v: usize, s: BitStr<'_>) -> usize {
+        let (ls, le) = self.label_range(v);
+        BitStr::new(&self.labels, ls, le - ls).lcp(&s)
+    }
+
+    #[inline]
+    fn nav_label_append(&self, v: usize, out: &mut BitString) {
+        let (ls, le) = self.label_range(v);
+        out.push_str(BitStr::new(&self.labels, ls, le - ls));
+    }
+
+    #[inline]
+    fn nav_bv_len(&self, v: usize) -> usize {
+        let (s, e) = self.bv_range(v);
+        e - s
+    }
+
+    #[inline]
+    fn nav_bv_get(&self, v: usize, i: usize) -> bool {
+        let (s, e) = self.bv_range(v);
+        debug_assert!(i < e - s);
+        self.bvs.get(s + i)
+    }
+
+    #[inline]
+    fn nav_bv_rank(&self, v: usize, bit: bool, i: usize) -> usize {
+        let (s, e) = self.bv_range(v);
+        debug_assert!(i <= e - s);
+        self.bvs.rank(bit, s + i) - self.bvs.rank(bit, s)
+    }
+
+    #[inline]
+    fn nav_bv_select(&self, v: usize, bit: bool, k: usize) -> Option<usize> {
+        let (s, e) = self.bv_range(v);
+        let before = self.bvs.rank(bit, s);
+        let p = self.bvs.select(bit, before + k)?;
+        (p < e).then(|| p - s)
+    }
+
+    #[inline]
+    fn nav_key(&self, v: usize) -> usize {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::SequenceOps;
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s)
+    }
+
+    /// The paper's Figure 2 sequence.
+    fn figure2_seq() -> Vec<BitString> {
+        ["0001", "0011", "0100", "00100", "0100", "00100", "0100"]
+            .iter()
+            .map(|s| bs(s))
+            .collect()
+    }
+
+    #[test]
+    fn figure2_structure() {
+        let wt = WaveletTrie::build(&figure2_seq()).unwrap();
+        assert_eq!(wt.len(), 7);
+        assert_eq!(wt.distinct_len(), 4);
+        assert_eq!(wt.n_nodes(), 7);
+        // Root: α = "0", β = 0010101 (Figure 2).
+        let root = wt.nav_root().unwrap();
+        let mut label = BitString::new();
+        wt.nav_label_append(root, &mut label);
+        assert_eq!(label.to_string(), "0");
+        let beta: String = (0..wt.nav_bv_len(root))
+            .map(|i| if wt.nav_bv_get(root, i) { '1' } else { '0' })
+            .collect();
+        assert_eq!(beta, "0010101");
+        // Left child: α = ε, β = 0111.
+        let l = wt.nav_child(root, false);
+        assert_eq!(wt.nav_label_len(l), 0);
+        let beta: String = (0..wt.nav_bv_len(l))
+            .map(|i| if wt.nav_bv_get(l, i) { '1' } else { '0' })
+            .collect();
+        assert_eq!(beta, "0111");
+        // Left-left leaf: α = "1" (appendix of 0001 after "0"+"0").
+        let ll = wt.nav_child(l, false);
+        assert!(wt.nav_is_leaf(ll));
+        let mut lab = BitString::new();
+        wt.nav_label_append(ll, &mut lab);
+        assert_eq!(lab.to_string(), "1");
+        // Left-right internal: α = ε, β = 100.
+        let lr = wt.nav_child(l, true);
+        let beta: String = (0..wt.nav_bv_len(lr))
+            .map(|i| if wt.nav_bv_get(lr, i) { '1' } else { '0' })
+            .collect();
+        assert_eq!(beta, "100");
+        // Right child of root: leaf α = "00" (0100 after "0"+"1").
+        let r = wt.nav_child(root, true);
+        assert!(wt.nav_is_leaf(r));
+        let mut lab = BitString::new();
+        wt.nav_label_append(r, &mut lab);
+        assert_eq!(lab.to_string(), "00");
+    }
+
+    #[test]
+    fn figure2_queries() {
+        let seq = figure2_seq();
+        let wt = WaveletTrie::build(&seq).unwrap();
+        for (i, s) in seq.iter().enumerate() {
+            assert_eq!(&wt.access(i), s, "access({i})");
+        }
+        // rank/select against naive
+        for s in &seq {
+            let occs: Vec<usize> = (0..seq.len()).filter(|&i| &seq[i] == s).collect();
+            for pos in 0..=seq.len() {
+                let naive = occs.iter().filter(|&&p| p < pos).count();
+                assert_eq!(wt.rank(s.as_bitstr(), pos), naive);
+            }
+            for (k, &p) in occs.iter().enumerate() {
+                assert_eq!(wt.select(s.as_bitstr(), k), Some(p));
+            }
+            assert_eq!(wt.select(s.as_bitstr(), occs.len()), None);
+        }
+        // prefix ops: strings starting with "00" are at positions 0,1,3,5
+        let p = bs("00");
+        assert_eq!(wt.count_prefix(p.as_bitstr()), 4);
+        assert_eq!(wt.rank_prefix(p.as_bitstr(), 4), 3);
+        assert_eq!(wt.select_prefix(p.as_bitstr(), 0), Some(0));
+        assert_eq!(wt.select_prefix(p.as_bitstr(), 2), Some(3));
+        assert_eq!(wt.select_prefix(p.as_bitstr(), 3), Some(5));
+        assert_eq!(wt.select_prefix(p.as_bitstr(), 4), None);
+        // absent strings
+        assert_eq!(wt.rank(bs("0000").as_bitstr(), 7), 0);
+        assert_eq!(wt.select(bs("1111").as_bitstr(), 0), None);
+        assert_eq!(wt.count_prefix(bs("11").as_bitstr()), 0);
+        // a prefix that is also a full string boundary: "0100" exactly
+        assert_eq!(wt.count_prefix(bs("0100").as_bitstr()), 3);
+    }
+
+    #[test]
+    fn single_distinct_string() {
+        let seq: Vec<BitString> = (0..5).map(|_| bs("1010")).collect();
+        let wt = WaveletTrie::build(&seq).unwrap();
+        assert_eq!(wt.len(), 5);
+        assert_eq!(wt.distinct_len(), 1);
+        assert_eq!(wt.access(3).to_string(), "1010");
+        assert_eq!(wt.rank(bs("1010").as_bitstr(), 4), 4);
+        assert_eq!(wt.select(bs("1010").as_bitstr(), 4), Some(4));
+        assert_eq!(wt.select(bs("1010").as_bitstr(), 5), None);
+        assert_eq!(wt.count_prefix(bs("10").as_bitstr()), 5);
+        assert_eq!(wt.height(), 0);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let wt = WaveletTrie::build(&[]).unwrap();
+        assert!(wt.is_empty());
+        assert_eq!(wt.rank(bs("01").as_bitstr(), 0), 0);
+        assert_eq!(wt.select(bs("01").as_bitstr(), 0), None);
+        assert_eq!(wt.distinct_len(), 0);
+    }
+
+    #[test]
+    fn prefix_violation_rejected() {
+        let seq = vec![bs("01"), bs("010")];
+        assert!(WaveletTrie::build(&seq).is_err());
+        let seq = vec![bs("010"), bs("01")];
+        assert!(WaveletTrie::build(&seq).is_err());
+        let seq = vec![bs(""), bs("1")];
+        assert!(WaveletTrie::build(&seq).is_err());
+    }
+
+    #[test]
+    fn avg_height_bounds_lemma_3_5() {
+        // H0(S) <= h̃ <= (1/n)Σ|s_i|
+        let seq = figure2_seq();
+        let wt = WaveletTrie::build(&seq).unwrap();
+        let h = wt.avg_height();
+        let n = seq.len() as f64;
+        let h0 = wt.nh0_bits() / n;
+        let avg_len: f64 = seq.iter().map(|s| s.len() as f64).sum::<f64>() / n;
+        assert!(h0 <= h + 1e-9, "H0={h0} h̃={h}");
+        assert!(h <= avg_len + 1e-9, "h̃={h} avg|s|={avg_len}");
+    }
+
+    #[test]
+    fn space_breakdown_sane() {
+        let seq: Vec<BitString> = (0..200u32)
+            .map(|i| {
+                // 16-bit fixed width: prefix-free
+                BitString::from_bits((0..16).rev().map(move |k| ((i * 37 % 50) >> k) & 1 != 0))
+            })
+            .collect();
+        let wt = WaveletTrie::build(&seq).unwrap();
+        let sp = wt.space_breakdown();
+        assert_eq!(sp.n, 200);
+        assert!(sp.distinct <= 50);
+        assert!(sp.total_bits > 0);
+        assert!(sp.lb_bits > 0.0);
+        assert!(sp.hn_bits >= sp.n); // at least one bit per string per level
+        // total should be in the same ballpark as LB (within a small factor)
+        assert!(
+            (sp.total_bits as f64) < 8.0 * sp.lb_bits + 4096.0,
+            "total {} vs LB {}",
+            sp.total_bits,
+            sp.lb_bits
+        );
+    }
+
+    #[test]
+    fn range_ops_on_figure2() {
+        let wt = WaveletTrie::build(&figure2_seq()).unwrap();
+        // distinct in [2, 6): 0100, 00100, 0100, 00100 -> {0100:2, 00100:2}
+        let d = wt.distinct_in_range(2, 6);
+        let strs: Vec<(String, usize)> = d.iter().map(|(s, c)| (s.to_string(), *c)).collect();
+        assert_eq!(strs, vec![("00100".into(), 2), ("0100".into(), 2)]);
+        // majority of [2, 7): 0100 x3 of 5
+        let m = wt.range_majority(2, 7).unwrap();
+        assert_eq!(m.0.to_string(), "0100");
+        assert_eq!(m.1, 3);
+        // no majority in [0, 4)
+        assert!(wt.range_majority(0, 4).is_none());
+        // frequent with threshold 3 over all: 0100 (3x)
+        let f = wt.range_frequent(0, 7, 3);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].0.to_string(), "0100");
+        // sequential iteration reproduces the sequence
+        let all: Vec<String> = wt.iter_seq().map(|s| s.to_string()).collect();
+        assert_eq!(
+            all,
+            vec!["0001", "0011", "0100", "00100", "0100", "00100", "0100"]
+        );
+        let mid: Vec<String> = wt.iter_range(2, 5).map(|s| s.to_string()).collect();
+        assert_eq!(mid, vec!["0100", "00100", "0100"]);
+        // prefix-restricted iteration: "00"-strings are 0001,0011,00100,00100
+        let pm: Vec<String> = wt
+            .iter_prefix_matches(bs("00").as_bitstr(), 1, 4)
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(pm, vec!["0011", "00100", "00100"]);
+    }
+
+    #[test]
+    fn larger_random_sequence_against_naive() {
+        let mut s = 0xFEED_BEEFu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        // Fixed-width 12-bit strings over a small alphabet: prefix-free.
+        let vals: Vec<u32> = (0..3000).map(|_| (next() % 40) as u32).collect();
+        let seq: Vec<BitString> = vals
+            .iter()
+            .map(|&v| BitString::from_bits((0..12).rev().map(move |k| (v >> k) & 1 != 0)))
+            .collect();
+        let wt = WaveletTrie::build(&seq).unwrap();
+        assert_eq!(wt.distinct_len(), {
+            let mut u: Vec<u32> = vals.clone();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        });
+        for probe in 0..40u32 {
+            let s = BitString::from_bits((0..12).rev().map(move |k| (probe >> k) & 1 != 0));
+            let occs: Vec<usize> = (0..vals.len()).filter(|&i| vals[i] == probe).collect();
+            for &pos in &[0usize, 1, 100, 1500, 3000] {
+                let naive = occs.iter().filter(|&&p| p < pos).count();
+                assert_eq!(wt.rank(s.as_bitstr(), pos), naive, "rank({probe},{pos})");
+            }
+            for k in (0..occs.len()).step_by(7) {
+                assert_eq!(wt.select(s.as_bitstr(), k), Some(occs[k]));
+            }
+        }
+        for &i in &[0usize, 1, 999, 2999] {
+            assert_eq!(wt.access(i), seq[i], "access({i})");
+        }
+    }
+}

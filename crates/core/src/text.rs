@@ -1,0 +1,398 @@
+//! Ergonomic byte-string / UTF-8 facing wrappers.
+//!
+//! The Wavelet Trie proper works on binary strings; these types pair a
+//! backend with the default [`NinthBitCoder`] so applications can store
+//! `&str`/`&[u8]` values directly — the use cases of §1 (query logs, URL
+//! logs, database columns).
+//!
+//! * [`IndexedStrings`] — static ([`WaveletTrie`]);
+//! * [`AppendLog`] — append-only ([`AppendWaveletTrie`]), the "compressing
+//!   and indexing a sequential log on the fly" scenario;
+//! * [`DynamicStrings`] — fully dynamic ([`DynamicWaveletTrie`]), the
+//!   database-column scenario.
+
+use crate::binarize::{Coder, NinthBitCoder};
+use crate::dyn_wt::{AppendWaveletTrie, DynamicWaveletTrie};
+use crate::ops::SequenceOps;
+use crate::range::RangeIter;
+use crate::static_wt::WaveletTrie;
+use wt_bits::SpaceUsage;
+use wt_trie::BitString;
+
+fn decode_owned(coder: &NinthBitCoder, b: &BitString) -> Vec<u8> {
+    coder.decode(b.as_bitstr())
+}
+
+macro_rules! string_facade_queries {
+    () => {
+        /// Number of strings stored.
+        pub fn len(&self) -> usize {
+            self.inner.seq_len()
+        }
+
+        /// Whether the sequence is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.seq_is_empty()
+        }
+
+        /// Number of distinct strings.
+        pub fn distinct_len(&self) -> usize {
+            self.inner.distinct_len()
+        }
+
+        /// `Access(pos)` as raw bytes.
+        pub fn get_bytes(&self, pos: usize) -> Vec<u8> {
+            decode_owned(&self.coder, &self.inner.access(pos))
+        }
+
+        /// `Access(pos)` as UTF-8 (lossy).
+        pub fn get_string(&self, pos: usize) -> String {
+            String::from_utf8_lossy(&self.get_bytes(pos)).into_owned()
+        }
+
+        /// `Rank(s, pos)`: occurrences of `s` before `pos`.
+        pub fn rank(&self, s: impl AsRef<[u8]>, pos: usize) -> usize {
+            self.inner.rank(self.coder.encode(s.as_ref()).as_bitstr(), pos)
+        }
+
+        /// `Select(s, idx)`.
+        pub fn select(&self, s: impl AsRef<[u8]>, idx: usize) -> Option<usize> {
+            self.inner.select(self.coder.encode(s.as_ref()).as_bitstr(), idx)
+        }
+
+        /// `RankPrefix(p, pos)`: strings with byte-prefix `p` before `pos`.
+        pub fn rank_prefix(&self, p: impl AsRef<[u8]>, pos: usize) -> usize {
+            self.inner
+                .rank_prefix(self.coder.encode_prefix(p.as_ref()).as_bitstr(), pos)
+        }
+
+        /// `SelectPrefix(p, idx)`.
+        pub fn select_prefix(&self, p: impl AsRef<[u8]>, idx: usize) -> Option<usize> {
+            self.inner
+                .select_prefix(self.coder.encode_prefix(p.as_ref()).as_bitstr(), idx)
+        }
+
+        /// Total occurrences of `s`.
+        pub fn count(&self, s: impl AsRef<[u8]>) -> usize {
+            self.inner.count(self.coder.encode(s.as_ref()).as_bitstr())
+        }
+
+        /// Total strings with byte-prefix `p`.
+        pub fn count_prefix(&self, p: impl AsRef<[u8]>) -> usize {
+            self.inner
+                .count_prefix(self.coder.encode_prefix(p.as_ref()).as_bitstr())
+        }
+
+        /// Occurrences of `s` in `[l, r)`.
+        pub fn range_count(&self, s: impl AsRef<[u8]>, l: usize, r: usize) -> usize {
+            self.inner
+                .range_count(self.coder.encode(s.as_ref()).as_bitstr(), l, r)
+        }
+
+        /// Strings with prefix `p` in `[l, r)`.
+        pub fn range_count_prefix(&self, p: impl AsRef<[u8]>, l: usize, r: usize) -> usize {
+            self.inner
+                .range_count_prefix(self.coder.encode_prefix(p.as_ref()).as_bitstr(), l, r)
+        }
+
+        /// Distinct strings in `[l, r)` with counts (§5), as UTF-8 (lossy).
+        pub fn distinct_in_range(&self, l: usize, r: usize) -> Vec<(String, usize)> {
+            self.inner
+                .distinct_in_range(l, r)
+                .into_iter()
+                .map(|(b, c)| {
+                    (
+                        String::from_utf8_lossy(&decode_owned(&self.coder, &b)).into_owned(),
+                        c,
+                    )
+                })
+                .collect()
+        }
+
+        /// Distinct strings with byte-prefix `p` in `[l, r)` with counts.
+        pub fn distinct_in_range_with_prefix(
+            &self,
+            p: impl AsRef<[u8]>,
+            l: usize,
+            r: usize,
+        ) -> Vec<(String, usize)> {
+            self.inner
+                .distinct_in_range_with_prefix(self.coder.encode_prefix(p.as_ref()).as_bitstr(), l, r)
+                .into_iter()
+                .map(|(b, c)| {
+                    (
+                        String::from_utf8_lossy(&decode_owned(&self.coder, &b)).into_owned(),
+                        c,
+                    )
+                })
+                .collect()
+        }
+
+        /// Distinct `byte_len`-byte prefixes of the strings in `[l, r)`
+        /// with counts (§5 stop-early enumeration — e.g. "the distinct
+        /// hostnames in a given time range"). Strings shorter than
+        /// `byte_len` are reported whole.
+        pub fn distinct_byte_prefixes_in_range(
+            &self,
+            l: usize,
+            r: usize,
+            byte_len: usize,
+        ) -> Vec<(String, usize)> {
+            self.inner
+                .distinct_prefixes_in_range(l, r, byte_len * 9)
+                .into_iter()
+                .map(|(b, c)| {
+                    let bytes = self.coder.decode_prefix(b.as_bitstr());
+                    (String::from_utf8_lossy(&bytes).into_owned(), c)
+                })
+                .collect()
+        }
+
+        /// Majority string of `[l, r)` (§5), if any.
+        pub fn range_majority(&self, l: usize, r: usize) -> Option<(String, usize)> {
+            self.inner.range_majority(l, r).map(|(b, c)| {
+                (
+                    String::from_utf8_lossy(&decode_owned(&self.coder, &b)).into_owned(),
+                    c,
+                )
+            })
+        }
+
+        /// Strings occurring ≥ `min_count` times in `[l, r)` (§5 heuristic).
+        pub fn range_frequent(&self, l: usize, r: usize, min_count: usize) -> Vec<(String, usize)> {
+            self.inner
+                .range_frequent(l, r, min_count)
+                .into_iter()
+                .map(|(b, c)| {
+                    (
+                        String::from_utf8_lossy(&decode_owned(&self.coder, &b)).into_owned(),
+                        c,
+                    )
+                })
+                .collect()
+        }
+
+        /// Sequential iteration over `[l, r)` as UTF-8 (lossy).
+        pub fn iter_range(&self, l: usize, r: usize) -> impl Iterator<Item = String> + '_ {
+            let coder = self.coder;
+            self.inner
+                .iter_range(l, r)
+                .map(move |b| String::from_utf8_lossy(&decode_owned(&coder, &b)).into_owned())
+        }
+
+        /// Trie height.
+        pub fn height(&self) -> usize {
+            self.inner.height()
+        }
+
+        /// Average height h̃ (Definition 3.4).
+        pub fn avg_height(&self) -> f64 {
+            self.inner.avg_height()
+        }
+    };
+}
+
+/// Static compressed indexed sequence of byte strings (Theorem 3.7).
+#[derive(Clone, Debug)]
+pub struct IndexedStrings {
+    inner: WaveletTrie,
+    coder: NinthBitCoder,
+}
+
+impl IndexedStrings {
+    /// Builds from any iterator of byte strings.
+    pub fn build<I, S>(seq: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let coder = NinthBitCoder;
+        let strings: Vec<BitString> = seq.into_iter().map(|s| coder.encode(s.as_ref())).collect();
+        let inner = WaveletTrie::build(&strings).expect("NinthBitCoder output is prefix-free");
+        IndexedStrings { inner, coder }
+    }
+
+    /// The underlying bit-level Wavelet Trie.
+    pub fn inner(&self) -> &WaveletTrie {
+        &self.inner
+    }
+
+    string_facade_queries!();
+}
+
+impl SpaceUsage for IndexedStrings {
+    fn size_bits(&self) -> usize {
+        self.inner.size_bits()
+    }
+}
+
+/// Append-only compressed indexed log of byte strings (Theorem 4.3):
+/// "compressing and indexing a sequential log on the fly".
+#[derive(Clone, Debug, Default)]
+pub struct AppendLog {
+    inner: AppendWaveletTrie,
+    coder: NinthBitCoder,
+}
+
+impl AppendLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `Append(s)`: O(|s| + h_s).
+    pub fn append(&mut self, s: impl AsRef<[u8]>) {
+        self.inner
+            .append(self.coder.encode(s.as_ref()).as_bitstr())
+            .expect("NinthBitCoder output is prefix-free");
+    }
+
+    /// The underlying bit-level Wavelet Trie.
+    pub fn inner(&self) -> &AppendWaveletTrie {
+        &self.inner
+    }
+
+    string_facade_queries!();
+}
+
+impl SpaceUsage for AppendLog {
+    fn size_bits(&self) -> usize {
+        self.inner.size_bits()
+    }
+}
+
+/// Fully dynamic compressed indexed sequence of byte strings (Theorem 4.4):
+/// the database-column scenario with unknown, changing alphabet.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicStrings {
+    inner: DynamicWaveletTrie,
+    coder: NinthBitCoder,
+}
+
+impl DynamicStrings {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `Insert(s, pos)`: O(|s| + h_s log n).
+    pub fn insert(&mut self, s: impl AsRef<[u8]>, pos: usize) {
+        self.inner
+            .insert(self.coder.encode(s.as_ref()).as_bitstr(), pos)
+            .expect("NinthBitCoder output is prefix-free");
+    }
+
+    /// Appends at the end.
+    pub fn push(&mut self, s: impl AsRef<[u8]>) {
+        let n = self.len();
+        self.insert(s, n);
+    }
+
+    /// `Delete(pos)`: removes and returns the string.
+    pub fn remove(&mut self, pos: usize) -> Vec<u8> {
+        let b = self.inner.delete(pos);
+        decode_owned(&self.coder, &b)
+    }
+
+    /// The underlying bit-level Wavelet Trie.
+    pub fn inner(&self) -> &DynamicWaveletTrie {
+        &self.inner
+    }
+
+    string_facade_queries!();
+}
+
+impl SpaceUsage for DynamicStrings {
+    fn size_bits(&self) -> usize {
+        self.inner.size_bits()
+    }
+}
+
+/// Silences the unused-import lint for `RangeIter` used only in docs.
+#[allow(unused)]
+fn _doc_refs(_: RangeIter<'_, WaveletTrie>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &[&str] = &[
+        "http://a.com/x",
+        "http://b.org/y",
+        "http://a.com/x",
+        "http://a.com/z",
+        "http://c.net/",
+        "http://a.com/x",
+    ];
+
+    #[test]
+    fn static_facade() {
+        let idx = IndexedStrings::build(LOG.iter().copied());
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx.distinct_len(), 4);
+        assert_eq!(idx.get_string(0), "http://a.com/x");
+        assert_eq!(idx.count("http://a.com/x"), 3);
+        assert_eq!(idx.count_prefix("http://a.com/"), 4);
+        assert_eq!(idx.rank_prefix("http://a.com/", 3), 2);
+        assert_eq!(idx.select_prefix("http://a.com/", 2), Some(3));
+        assert_eq!(idx.select("http://a.com/x", 2), Some(5));
+        assert_eq!(idx.select("http://missing/", 0), None);
+        // the string equal to a prefix counts as having that prefix
+        assert_eq!(idx.count_prefix("http://c.net/"), 1);
+        // 3 of 6 is exactly half — not a strict majority.
+        assert_eq!(idx.range_majority(0, 6), None);
+        // 2 of 3 in [0, 3) is.
+        let maj = idx.range_majority(0, 3);
+        assert_eq!(maj, Some(("http://a.com/x".into(), 2)));
+        let top = idx.distinct_in_range_with_prefix("http://a.com/", 0, 6);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn append_facade_matches_static() {
+        let mut log = AppendLog::new();
+        for s in LOG {
+            log.append(s);
+        }
+        let idx = IndexedStrings::build(LOG.iter().copied());
+        assert_eq!(log.len(), idx.len());
+        for i in 0..log.len() {
+            assert_eq!(log.get_string(i), idx.get_string(i));
+        }
+        assert_eq!(
+            log.count_prefix("http://a.com/"),
+            idx.count_prefix("http://a.com/")
+        );
+        let a: Vec<String> = log.iter_range(1, 5).collect();
+        let b: Vec<String> = idx.iter_range(1, 5).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dynamic_facade_full_lifecycle() {
+        let mut col = DynamicStrings::new();
+        for s in LOG {
+            col.push(s);
+        }
+        col.insert("sqlite", 2);
+        assert_eq!(col.get_string(2), "sqlite");
+        assert_eq!(col.len(), 7);
+        let removed = col.remove(2);
+        assert_eq!(removed, b"sqlite");
+        assert_eq!(col.count("sqlite"), 0);
+        assert_eq!(col.len(), 6);
+        // empty string round-trips too
+        col.push("");
+        assert_eq!(col.get_string(6), "");
+        assert_eq!(col.count(""), 1);
+        assert_eq!(col.remove(6), b"");
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let strs = ["héllo", "wörld", "héllo", "日本語"];
+        let idx = IndexedStrings::build(strs.iter().map(|s| s.as_bytes()));
+        assert_eq!(idx.get_string(3), "日本語");
+        assert_eq!(idx.count("héllo".as_bytes()), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # wt-trie — trie substrates for the Wavelet Trie
+//!
+//! Substrates from §2, §3 and Appendix B of *"The Wavelet Trie"*
+//! (Grossi & Ottaviano, PODS 2012):
+//!
+//! * [`bitstr`] — binary strings at bit granularity ([`BitString`],
+//!   [`BitStr`]): LCP, slicing, ordering.
+//! * [`bp`] — balanced-parentheses navigation with a range-min tree
+//!   ([`BpSupport`]): `excess`/`find_close`/`find_open`.
+//! * [`dfuds`] — DFUDS succinct ordinal trees ([`Dfuds`]), the shape
+//!   encoding of the static Wavelet Trie (§3).
+//! * [`patricia`] — the dynamic Patricia trie of Appendix B
+//!   ([`PatriciaSet`]), with O(|s|) insert and merge-on-delete.
+
+pub mod bitstr;
+pub mod bp;
+pub mod dfuds;
+pub mod patricia;
+
+pub use bitstr::{BitStr, BitString};
+pub use bp::BpSupport;
+pub use dfuds::{Dfuds, NodeId};
+pub use patricia::{PatriciaSet, PrefixFreeViolation};

@@ -1,0 +1,79 @@
+//! Integer workloads for the §6 experiments: working alphabets that are
+//! tiny inside a `u64` universe, clustered values, and the adversarial
+//! power-of-two comb that drives an unhashed trie to depth `log u`.
+
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+/// `n` values drawn uniformly from a working alphabet of `sigma` values
+/// scattered uniformly in the full `universe_bits`-bit universe.
+pub fn small_alphabet_u64(n: usize, sigma: usize, universe_bits: u32, seed: u64) -> Vec<u64> {
+    assert!((1..=64).contains(&universe_bits));
+    let mut rng = crate::rng(seed);
+    let mask = if universe_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << universe_bits) - 1
+    };
+    let alphabet: Vec<u64> = (0..sigma).map(|_| rng.random::<u64>() & mask).collect();
+    (0..n)
+        .map(|_| *alphabet.choose(&mut rng).expect("nonempty"))
+        .collect()
+}
+
+/// `n` values from `clusters` clusters of consecutive integers, each of
+/// width `spread` — e.g. timestamps or auto-increment keys.
+pub fn clustered_u64(n: usize, clusters: usize, spread: u64, seed: u64) -> Vec<u64> {
+    let mut rng = crate::rng(seed);
+    let bases: Vec<u64> = (0..clusters)
+        .map(|_| rng.random::<u64>() >> 8) // keep additions overflow-free
+        .collect();
+    (0..n)
+        .map(|_| {
+            let base = *bases.choose(&mut rng).expect("nonempty");
+            base + rng.random_range(0..spread.max(1))
+        })
+        .collect()
+}
+
+/// The power-of-two comb `{2^j : j < k}` — the unhashed trie becomes a
+/// chain of height ~k (up to `log u`) with only `k` distinct values.
+pub fn power_comb(k: u32) -> Vec<u64> {
+    assert!(k <= 64);
+    (0..k).map(|j| 1u64 << j).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_alphabet_respects_sigma() {
+        let v = small_alphabet_u64(10_000, 37, 64, 3);
+        let distinct: std::collections::HashSet<u64> = v.iter().copied().collect();
+        assert!(distinct.len() <= 37);
+        assert!(distinct.len() >= 30, "most symbols should appear");
+    }
+
+    #[test]
+    fn clusters_are_tight() {
+        let v = clustered_u64(1000, 3, 100, 4);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // values should form at most 3 runs of width <= 100
+        let mut runs = 1;
+        for w in sorted.windows(2) {
+            if w[1] - w[0] > 100 {
+                runs += 1;
+            }
+        }
+        assert!(runs <= 3, "expected <=3 clusters, got {runs}");
+    }
+
+    #[test]
+    fn comb_shape() {
+        let v = power_comb(8);
+        assert_eq!(v, vec![1, 2, 4, 8, 16, 32, 64, 128]);
+    }
+}

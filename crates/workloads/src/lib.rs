@@ -1,0 +1,39 @@
+//! # wt-workloads — deterministic synthetic workloads
+//!
+//! The paper has no datasets (its evaluation is analytical), so the
+//! experiments run on seeded generators modelling the distributional
+//! features §1 motivates: repeated strings with shared prefixes (URL/query
+//! logs), skewed frequencies (Zipf), time-ordered positions, and integer
+//! sequences whose working alphabet is tiny inside a huge universe (§6).
+//! Every generator is a pure function of its seed.
+
+pub mod ints;
+pub mod urls;
+pub mod words;
+pub mod zipf;
+
+pub use ints::{clustered_u64, power_comb, small_alphabet_u64};
+pub use urls::{url_log, UrlLogConfig};
+pub use words::word_text;
+pub use zipf::Zipf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The workspace-standard seeded RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(url_log(50, UrlLogConfig::default(), 7), url_log(50, UrlLogConfig::default(), 7));
+        assert_eq!(word_text(50, 100, 9), word_text(50, 100, 9));
+        assert_eq!(clustered_u64(50, 4, 10, 3), clustered_u64(50, 4, 10, 3));
+        assert_ne!(url_log(50, UrlLogConfig::default(), 7), url_log(50, UrlLogConfig::default(), 8));
+    }
+}

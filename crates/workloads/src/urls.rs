@@ -1,0 +1,86 @@
+//! Synthetic URL access-log generator — the paper's flagship motivation
+//! (§1: "The accessed URLs, paths … are chronologically stored as a
+//! sequence of strings, and a common prefix denotes a common domain or a
+//! common folder for the given time frame").
+//!
+//! Hosts are drawn Zipf-skewed; path depth is geometric; path segments come
+//! from a small per-depth vocabulary, so the log has heavy string reuse and
+//! long shared prefixes — exactly the regime where `h̃n ≪ Σ|s_i|`.
+
+use crate::zipf::Zipf;
+use rand::RngExt;
+use rand_distr::{Distribution, Geometric};
+
+/// Shape parameters for [`url_log`].
+#[derive(Clone, Copy, Debug)]
+pub struct UrlLogConfig {
+    /// Number of distinct hosts.
+    pub hosts: usize,
+    /// Zipf skew over hosts.
+    pub theta: f64,
+    /// Success probability of the geometric path-depth distribution
+    /// (larger ⇒ shallower paths).
+    pub depth_p: f64,
+    /// Vocabulary of path segments per depth level.
+    pub segment_vocab: usize,
+}
+
+impl Default for UrlLogConfig {
+    fn default() -> Self {
+        UrlLogConfig {
+            hosts: 100,
+            theta: 1.0,
+            depth_p: 0.45,
+            segment_vocab: 12,
+        }
+    }
+}
+
+/// Generates `n` log entries like `http://host42.example/a3/b7/c1`.
+pub fn url_log(n: usize, cfg: UrlLogConfig, seed: u64) -> Vec<String> {
+    let mut rng = crate::rng(seed);
+    let host_dist = Zipf::new(cfg.hosts, cfg.theta);
+    let depth_dist = Geometric::new(cfg.depth_p).expect("valid p");
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let host = host_dist.sample(&mut rng);
+        let depth = (depth_dist.sample(&mut rng) as usize).min(6);
+        let mut url = format!("http://host{host:03}.example");
+        for d in 0..depth {
+            let seg = rng.random_range(0..cfg.segment_vocab);
+            url.push('/');
+            url.push((b'a' + (d as u8 % 26)) as char);
+            url.push_str(&seg.to_string());
+        }
+        if depth == 0 {
+            url.push('/');
+        }
+        out.push(url);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_has_reuse_and_shared_prefixes() {
+        let log = url_log(5000, UrlLogConfig::default(), 42);
+        assert_eq!(log.len(), 5000);
+        let distinct: std::collections::HashSet<&String> = log.iter().collect();
+        assert!(
+            distinct.len() < log.len() / 2,
+            "heavy reuse expected: {} distinct of {}",
+            distinct.len(),
+            log.len()
+        );
+        // top host should dominate
+        let top = log
+            .iter()
+            .filter(|u| u.starts_with("http://host000.example"))
+            .count();
+        assert!(top > log.len() / 20, "Zipf head too light: {top}");
+        assert!(log.iter().all(|u| u.starts_with("http://host")));
+    }
+}

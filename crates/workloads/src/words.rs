@@ -1,0 +1,51 @@
+//! Synthetic word-text generator — the "textual document search" motivation
+//! of §1 (a text as the sequence of its words). Word frequencies follow a
+//! Zipf law over a fixed vocabulary; word lengths grow slowly with rank so
+//! frequent words are short (as in natural language).
+
+use crate::zipf::Zipf;
+
+/// Generates `n` words over a `vocab`-word Zipf(1.0) vocabulary.
+pub fn word_text(n: usize, vocab: usize, seed: u64) -> Vec<String> {
+    let mut rng = crate::rng(seed);
+    let dist = Zipf::new(vocab.max(1), 1.0);
+    // Deterministic vocabulary: base-26 spelling of the rank, with length
+    // growing logarithmically (short words are frequent).
+    let spell = |rank: usize| -> String {
+        let len = 2 + (usize::BITS - (rank + 1).leading_zeros()) as usize / 2;
+        let mut w = String::with_capacity(len);
+        let mut v = rank;
+        for _ in 0..len {
+            w.push((b'a' + (v % 26) as u8) as char);
+            v /= 26;
+        }
+        w
+    };
+    (0..n).map(|_| spell(dist.sample(&mut rng))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_follow_zipf() {
+        let text = word_text(20_000, 500, 11);
+        let mut counts: std::collections::HashMap<&String, usize> = Default::default();
+        for w in &text {
+            *counts.entry(w).or_default() += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(freqs[0] > 4 * freqs[freqs.len() / 2]);
+        assert!(counts.len() <= 500);
+    }
+
+    #[test]
+    fn distinct_words_have_distinct_spellings() {
+        // spell() must be injective over the vocab range we use
+        let text = word_text(50_000, 400, 5);
+        let distinct: std::collections::HashSet<&String> = text.iter().collect();
+        assert!(distinct.len() > 100, "vocabulary too collapsed: {}", distinct.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! Zipf-distributed sampling over a finite support, via an explicit CDF
+//! table (exact, seed-stable, O(log n) per sample). Query-log and word
+//! frequencies are classically Zipfian — the "power-law distributions" the
+//! §5 heuristic targets.
+
+use rand::RngExt;
+
+/// A Zipf(θ) distribution over ranks `0..n` (rank 0 most frequent).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the distribution: `P(rank k) ∝ 1/(k+1)^theta`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `theta` is not finite/positive.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "support must be nonempty");
+        assert!(theta.is_finite() && theta > 0.0, "theta must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: RngExt>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skewed_towards_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        // rank 0 should take roughly 1/H(1000) ≈ 13% of the mass
+        assert!(counts[0] > 80_000 / 10 && counts[0] < 20_000);
+    }
+
+    #[test]
+    fn all_ranks_reachable_for_small_n() {
+        let z = Zipf::new(5, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,60 @@
+//! §6 in action: a dynamic Rank/Select sequence over 64-bit integers whose
+//! working alphabet is unknown in advance and tiny compared to the universe.
+//!
+//! A classic dynamic Wavelet Tree would need the universe fixed up front
+//! (depth 64 or a full rebuild on alphabet change); the randomized Wavelet
+//! Tree hashes values with an invertible multiplicative permutation and
+//! stays O(log |Σ|) deep with high probability.
+//!
+//! Run with `cargo run --release --example numeric_index`.
+
+use wavelet_trie::hashed::unhashed_height;
+use wavelet_trie::RandomizedWaveletTree;
+use wt_bits::SpaceUsage;
+use wt_workloads::{power_comb, small_alphabet_u64};
+
+fn main() {
+    // 100k measurements drawn from ~50 sensor ids scattered in u64 space.
+    let n = 100_000;
+    let values = small_alphabet_u64(n, 50, 64, 7);
+
+    let mut idx = RandomizedWaveletTree::new(64, 0xFEED);
+    let t0 = std::time::Instant::now();
+    for &v in &values {
+        idx.push(v);
+    }
+    println!(
+        "indexed {n} u64s in {:.1} ms; |Σ| = {}, trie height = {} (log|Σ| ≈ {:.1}, log u = 64)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        idx.distinct_len(),
+        idx.height(),
+        (idx.distinct_len() as f64).log2()
+    );
+    println!("space: {} KiB vs {} KiB for a plain Vec<u64>",
+        idx.size_bits() / 8192, n * 64 / 8192);
+
+    // Point queries.
+    let x = values[12345];
+    println!("\nvalue {x:#018x}:");
+    println!("  count          = {}", idx.count(x));
+    println!("  rank before 50k = {}", idx.rank(x, 50_000));
+    println!("  100th occurrence at {:?}", idx.select(x, 99));
+
+    // Updates anywhere, values never seen before, no rebuild.
+    idx.insert(0xDEAD_BEEF_0BAD_F00D, 777);
+    assert_eq!(idx.get(777), 0xDEAD_BEEF_0BAD_F00D);
+    let gone = idx.remove(777);
+    println!("\ninserted + removed unseen value {gone:#018x} at position 777");
+
+    // The pathological comb: unhashed depth ~64 vs hashed ~O(log |Σ|).
+    let comb = power_comb(64);
+    let mut hashed = RandomizedWaveletTree::new(64, 42);
+    for &v in &comb {
+        hashed.push(v);
+    }
+    println!(
+        "\npower-of-two comb (64 values): unhashed height = {}, hashed height = {}",
+        unhashed_height(&comb, 64),
+        hashed.height()
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the paper's Figure 2 sequence, end to end.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use wavelet_trie::{BitString, DynamicWaveletTrie, SequenceOps, WaveletTrie};
+
+fn main() {
+    // The sequence of Figure 2: 〈0001, 0011, 0100, 00100, 0100, 00100, 0100〉.
+    let seq: Vec<BitString> = ["0001", "0011", "0100", "00100", "0100", "00100", "0100"]
+        .iter()
+        .map(|s| BitString::parse(s))
+        .collect();
+
+    // --- Static: build once, query forever -------------------------------
+    let wt = WaveletTrie::build(&seq).expect("prefix-free set");
+    println!("n = {}, |Sset| = {}, height = {}", wt.len(), wt.distinct_len(), wt.height());
+    println!("Access(3)  = {}", wt.access(3));
+    let s = BitString::parse("0100");
+    println!("Rank(0100, 7)   = {}", wt.rank(s.as_bitstr(), 7));
+    println!("Select(0100, 2) = {:?}", wt.select(s.as_bitstr(), 2));
+    let p = BitString::parse("00");
+    println!("RankPrefix(00, 7)    = {}", wt.rank_prefix(p.as_bitstr(), 7));
+    println!("SelectPrefix(00, 3)  = {:?}", wt.select_prefix(p.as_bitstr(), 3));
+
+    // Range analytics (§5).
+    println!("distinct in [2,6): {:?}",
+        wt.distinct_in_range(2, 6)
+            .iter()
+            .map(|(s, c)| (s.to_string(), *c))
+            .collect::<Vec<_>>());
+    println!("majority of [2,7): {:?}",
+        wt.range_majority(2, 7).map(|(s, c)| (s.to_string(), c)));
+
+    // Space vs. the information-theoretic lower bound (Theorem 3.7).
+    let sp = wt.space_breakdown();
+    println!(
+        "space: {} bits total vs LB = LT + nH0 = {:.1} + {:.1} = {:.1} bits",
+        sp.total_bits, sp.lt_bits, sp.nh0_bits, sp.lb_bits
+    );
+
+    // --- Dynamic: same sequence built by interleaved inserts --------------
+    let mut dyn_wt = DynamicWaveletTrie::new();
+    for s in &seq {
+        dyn_wt.append(s.as_bitstr()).expect("prefix-free");
+    }
+    // A brand-new string can arrive at any moment (dynamic alphabet!):
+    dyn_wt.insert(BitString::parse("0101").as_bitstr(), 3).unwrap();
+    println!("after insert: Access(3) = {}", dyn_wt.access(3));
+    let removed = dyn_wt.delete(3);
+    println!("deleted back: {removed}");
+    assert_eq!(dyn_wt.len(), 7);
+
+    // Every query agrees with the static structure.
+    for i in 0..wt.len() {
+        assert_eq!(wt.access(i), dyn_wt.access(i));
+    }
+    println!("static and dynamic agree on all {} positions ✓", wt.len());
+}

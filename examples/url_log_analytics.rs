@@ -1,0 +1,88 @@
+//! §1's flagship use case: an append-only URL access log, compressed and
+//! indexed on the fly, answering time-windowed prefix analytics —
+//! *"what has been the most accessed domain during winter vacation?"*
+//!
+//! Run with `cargo run --release --example url_log_analytics`.
+
+use wavelet_trie::AppendLog;
+use wt_bits::SpaceUsage;
+use wt_workloads::{url_log, UrlLogConfig};
+
+fn main() {
+    let n = 50_000;
+    let entries = url_log(n, UrlLogConfig::default(), 2024);
+
+    // The log arrives one entry at a time; every append is O(|s| + h_s).
+    let mut log = AppendLog::new();
+    let t0 = std::time::Instant::now();
+    for e in &entries {
+        log.append(e);
+    }
+    let build = t0.elapsed();
+    println!(
+        "ingested {n} URLs in {:.1} ms ({:.2} µs/append), {} distinct",
+        build.as_secs_f64() * 1e3,
+        build.as_secs_f64() * 1e6 / n as f64,
+        log.distinct_len()
+    );
+    let raw_bits: usize = entries.iter().map(|e| e.len() * 8).sum();
+    println!(
+        "space: {} KiB compressed+indexed vs {} KiB raw text",
+        log.size_bits() / 8192,
+        raw_bits / 8192
+    );
+
+    // "Winter vacation" = the middle fifth of the log (positions are time).
+    let (from, to) = (2 * n / 5, 3 * n / 5);
+
+    // Accesses per domain in the window: RankPrefix at both ends.
+    let host = "http://host000.example";
+    let hits = log.range_count_prefix(host, from, to);
+    println!("\nwindow [{from}, {to}):");
+    println!("  {host}/* was accessed {hits} times");
+
+    // Most accessed URL in the window, if dominant (range majority, §5).
+    match log.range_majority(from, to) {
+        Some((url, c)) => println!("  majority URL: {url} ({c} hits)"),
+        None => println!("  no single URL takes >50% of the window"),
+    }
+
+    // Top URLs above a threshold (range top-t heuristic, §5).
+    let t = (to - from) / 50;
+    let mut top = log.range_frequent(from, to, t);
+    top.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("  URLs with ≥{t} hits:");
+    for (url, c) in top.iter().take(5) {
+        println!("    {c:>6}  {url}");
+    }
+
+    // Distinct hostnames in the window without touching full URLs
+    // (stop-early prefix enumeration, §5: "we can find efficiently the
+    // distinct hostnames in a given time range").
+    let hostname_len = "http://host000.example".len();
+    let mut hosts = log.distinct_byte_prefixes_in_range(from, to, hostname_len);
+    hosts.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("  {} distinct hostnames in the window; top 3:", hosts.len());
+    for (h, c) in hosts.iter().take(3) {
+        println!("    {c:>6}  {h}");
+    }
+    let under = log.distinct_in_range_with_prefix("http://host00", from, to);
+    println!(
+        "  {} distinct URLs under http://host00* in the window",
+        under.len()
+    );
+
+    // Replay a slice of the log in order (sequential access, §5).
+    print!("  first 3 entries of the window:");
+    for e in log.iter_range(from, from + 3) {
+        print!(" {e}");
+    }
+    println!();
+
+    // Point queries.
+    let probe = &entries[from + 7];
+    println!("\npoint queries on {probe:?}:");
+    println!("  total occurrences: {}", log.count(probe));
+    println!("  occurrences before position {from}: {}", log.rank(probe, from));
+    println!("  5th occurrence at position {:?}", log.select(probe, 4));
+}

@@ -1,0 +1,15 @@
+//! # wavelet-trie-repro — umbrella crate
+//!
+//! Reproduction of *"The Wavelet Trie: Maintaining an Indexed Sequence of
+//! Strings in Compressed Space"* (Grossi & Ottaviano, PODS 2012).
+//!
+//! This crate re-exports the whole workspace so the examples under
+//! `examples/` and the integration tests under `tests/` can reach every
+//! component from one place. See `README.md` for a tour and `DESIGN.md` for
+//! the paper-to-module map.
+
+pub use wavelet_trie;
+pub use wt_baselines as baselines;
+pub use wt_bits as bits;
+pub use wt_trie as trie;
+pub use wt_workloads as workloads;

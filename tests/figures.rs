@@ -1,0 +1,181 @@
+//! Reproduction of the paper's figures as structural assertions.
+//!
+//! * Figure 1 — the Wavelet Tree of `abracadabra` over `{a,b,c,d,r}`;
+//! * Figure 2 — the Wavelet Trie of `〈0001,0011,0100,00100,0100,00100,0100〉`,
+//!   node by node (labels α and bitvectors β);
+//! * Figure 3 — the node split performed when inserting a new string.
+
+use wavelet_trie::{
+    AppendWaveletTrie, BitString, DynamicWaveletTrie, SequenceOps, TrieNav, WaveletTrie,
+};
+use wt_baselines::IntWaveletTree;
+
+fn bs(s: &str) -> BitString {
+    BitString::parse(s)
+}
+
+fn figure2_seq() -> Vec<BitString> {
+    ["0001", "0011", "0100", "00100", "0100", "00100", "0100"]
+        .iter()
+        .map(|s| bs(s))
+        .collect()
+}
+
+/// Collects (label, bitvector-as-string) per node in preorder.
+fn dump_trie<T: TrieNav>(t: &T) -> Vec<(String, Option<String>)> {
+    fn rec<'a, T: TrieNav>(t: &'a T, v: T::Node<'a>, out: &mut Vec<(String, Option<String>)>) {
+        let mut label = BitString::new();
+        t.nav_label_append(v, &mut label);
+        if t.nav_is_leaf(v) {
+            out.push((label.to_string(), None));
+        } else {
+            let beta: String = (0..t.nav_bv_len(v))
+                .map(|i| if t.nav_bv_get(v, i) { '1' } else { '0' })
+                .collect();
+            out.push((label.to_string(), Some(beta)));
+            rec(t, t.nav_child(v, false), out);
+            rec(t, t.nav_child(v, true), out);
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(r) = t.nav_root() {
+        rec(t, r, &mut out);
+    }
+    out
+}
+
+/// The exact Figure 2 trie, in preorder:
+/// root(α=0, β=0010101) → [ (ε, 0111) → [ leaf(1), (ε, 100) → [leaf(0),
+/// leaf(ε)] ], leaf(00) ].
+fn figure2_expected() -> Vec<(String, Option<String>)> {
+    vec![
+        ("0".into(), Some("0010101".into())),
+        ("".into(), Some("0111".into())),
+        ("1".into(), None),
+        ("".into(), Some("100".into())),
+        ("0".into(), None),
+        ("".into(), None),
+        ("00".into(), None),
+    ]
+}
+
+#[test]
+fn figure2_static_structure_is_exact() {
+    let wt = WaveletTrie::build(&figure2_seq()).unwrap();
+    assert_eq!(dump_trie(&wt), figure2_expected());
+}
+
+#[test]
+fn figure2_append_only_structure_is_exact() {
+    let mut wt = AppendWaveletTrie::new();
+    for s in figure2_seq() {
+        wt.append(s.as_bitstr()).unwrap();
+    }
+    assert_eq!(dump_trie(&wt), figure2_expected());
+}
+
+#[test]
+fn figure2_dynamic_structure_is_exact() {
+    let mut wt = DynamicWaveletTrie::new();
+    for s in figure2_seq() {
+        wt.append(s.as_bitstr()).unwrap();
+    }
+    assert_eq!(dump_trie(&wt), figure2_expected());
+    // and when built by front-insertion in reverse order, the shape is the
+    // same (the trie shape depends only on Sset; bitvectors on the order).
+    let mut wt2 = DynamicWaveletTrie::new();
+    for s in figure2_seq().into_iter().rev() {
+        wt2.insert(s.as_bitstr(), 0).unwrap();
+    }
+    assert_eq!(dump_trie(&wt2), figure2_expected());
+}
+
+#[test]
+fn figure1_wavelet_tree_abracadabra() {
+    // Figure 1: input abracadabra over {a,b,c,d,r}; root bitvector
+    // 00101010010 splits {a,b} (0) from {c,d,r} (1).
+    // With the balanced code a=000,b=001,c=010,d=011,r=100 the top-level
+    // bits are: a0 b0 r1 a0 c1 a0 d1 a0 b0 r1 a0 — but Figure 1 uses the
+    // 2-way partition {a,b} vs {c,d,r}; our IntWaveletTree with a=0 b=1 c=2
+    // d=3 r=4 at width 3 splits on the top bit: {0..3} vs {4} — a different
+    // (also valid) balanced shape. We therefore verify the figure through
+    // counts, which are shape-independent, plus the root bitvector of the
+    // figure's own partition computed directly.
+    let text = "abracadabra";
+    let sym = |c: char| "abcdr".find(c).unwrap() as u64;
+    let seq: Vec<u64> = text.chars().map(sym).collect();
+    let wt = IntWaveletTree::new(&seq, 5);
+    for (c, count) in [('a', 5), ('b', 2), ('c', 1), ('d', 1), ('r', 2)] {
+        assert_eq!(wt.count(sym(c)), count, "count({c})");
+    }
+    assert_eq!(wt.access(0), sym('a'));
+    assert_eq!(wt.access(2), sym('r'));
+    assert_eq!(wt.rank(sym('a'), 8), 4);
+    assert_eq!(wt.select(sym('r'), 1), Some(9));
+    // Figure's root bitvector for the partition {a,b} | {c,d,r}:
+    let root: String = text
+        .chars()
+        .map(|c| if "cdr".contains(c) { '1' } else { '0' })
+        .collect();
+    assert_eq!(root, "00101010010");
+    // Left subsequence "abaaaba" gets 0100010 on the {a}|{b} split:
+    let left: String = text
+        .chars()
+        .filter(|c| "ab".contains(*c))
+        .map(|c| if c == 'b' { '1' } else { '0' })
+        .collect();
+    assert_eq!(left, "0100010");
+}
+
+#[test]
+fn figure3_insert_splits_node() {
+    // Figure 3: inserting a string that diverges inside an existing label
+    // γbδ splits the node into an internal node labeled γ whose bitvector
+    // is initialized constant (Init(b, m)) before the new string's bit is
+    // inserted; the old node keeps δ, the new leaf gets λ.
+    // Instantiation: old leaf label "1011" = γ·1·δ with γ = "101", δ = ε;
+    // new string "01010" provides branch bit 0 and λ = ε.
+    let mut wt = DynamicWaveletTrie::new();
+    for s in ["01011", "01011", "11", "01011"] {
+        wt.append(bs(s).as_bitstr()).unwrap();
+    }
+    let before = dump_trie(&wt);
+    assert_eq!(
+        before,
+        vec![
+            ("".into(), Some("0010".into())),
+            ("1011".into(), None), // the node that will split
+            ("1".into(), None),
+        ]
+    );
+    wt.insert(bs("01010").as_bitstr(), 3).unwrap();
+    let after = dump_trie(&wt);
+    assert_eq!(
+        after,
+        vec![
+            ("".into(), Some("00100".into())),
+            // γ = "101"; bitvector Init(1, 3) = 111 with the new 0 inserted
+            // at the mapped position 2 → 1101.
+            ("101".into(), Some("1101".into())),
+            ("".into(), None), // new leaf λ = ε
+            ("".into(), None), // old node, label δ = ε
+            ("1".into(), None),
+        ]
+    );
+    assert_eq!(wt.access(3).to_string(), "01010");
+    assert_eq!(wt.count(bs("01011").as_bitstr()), 3);
+    assert_eq!(wt.count(bs("01010").as_bitstr()), 1);
+}
+
+#[test]
+fn figure3_inverse_delete_merges_back() {
+    let mut wt = DynamicWaveletTrie::new();
+    for s in ["01011", "01011", "11", "01011"] {
+        wt.append(bs(s).as_bitstr()).unwrap();
+    }
+    let before = dump_trie(&wt);
+    wt.insert(bs("01010").as_bitstr(), 3).unwrap();
+    let removed = wt.delete(3);
+    assert_eq!(removed.to_string(), "01010");
+    assert_eq!(dump_trie(&wt), before, "delete must undo the split exactly");
+}

@@ -1,0 +1,110 @@
+//! Tests for the §5 stop-early prefix enumeration ("enumerating the
+//! distinct prefixes … for example in an URL access log we can find
+//! efficiently the distinct hostnames in a given time range").
+
+use std::collections::BTreeMap;
+use wavelet_trie::{AppendLog, BitString, DynamicWaveletTrie, SequenceOps, WaveletTrie};
+use wt_workloads::{url_log, UrlLogConfig};
+
+fn bs(s: &str) -> BitString {
+    BitString::parse(s)
+}
+
+#[test]
+fn bit_level_prefixes_figure2() {
+    let seq: Vec<BitString> = ["0001", "0011", "0100", "00100", "0100", "00100", "0100"]
+        .iter()
+        .map(|s| bs(s))
+        .collect();
+    let wt = WaveletTrie::build(&seq).unwrap();
+    // depth-2 prefixes: 00 (0001, 0011, 00100 ×2 → 4), 01 (0100 ×3)
+    let got: Vec<(String, usize)> = wt
+        .distinct_prefixes_in_range(0, 7, 2)
+        .iter()
+        .map(|(s, c)| (s.to_string(), *c))
+        .collect();
+    assert_eq!(got, vec![("00".into(), 4), ("01".into(), 3)]);
+    // depth-3: 000 (1), 001 (3), 010 (3)
+    let got: Vec<(String, usize)> = wt
+        .distinct_prefixes_in_range(0, 7, 3)
+        .iter()
+        .map(|(s, c)| (s.to_string(), *c))
+        .collect();
+    assert_eq!(got, vec![("000".into(), 1), ("001".into(), 3), ("010".into(), 3)]);
+    // depth beyond all strings = full distinct enumeration
+    let deep = wt.distinct_prefixes_in_range(0, 7, 64);
+    let full = wt.distinct_in_range(0, 7);
+    assert_eq!(deep, full);
+    // depth 0: single empty prefix covering the window
+    let all = wt.distinct_prefixes_in_range(1, 6, 0);
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].1, 5);
+    // sub-window
+    let got: Vec<(String, usize)> = wt
+        .distinct_prefixes_in_range(2, 6, 2)
+        .iter()
+        .map(|(s, c)| (s.to_string(), *c))
+        .collect();
+    assert_eq!(got, vec![("00".into(), 2), ("01".into(), 2)]);
+}
+
+#[test]
+fn hostnames_in_time_window_match_naive() {
+    let n = 5000;
+    let data = url_log(n, UrlLogConfig::default(), 11);
+    let mut log = AppendLog::new();
+    for s in &data {
+        log.append(s);
+    }
+    // hostnames are the first 22 bytes: "http://hostNNN.example"
+    let hlen = "http://host000.example".len();
+    for (l, r) in [(0, n), (n / 4, n / 2), (10, 11)] {
+        let got = log.distinct_byte_prefixes_in_range(l, r, hlen);
+        let mut naive: BTreeMap<String, usize> = BTreeMap::new();
+        for s in &data[l..r] {
+            *naive.entry(s[..hlen.min(s.len())].to_string()).or_default() += 1;
+        }
+        let want: Vec<(String, usize)> = naive.into_iter().collect();
+        assert_eq!(got, want, "window [{l},{r})");
+        // counts must sum to the window size
+        let total: usize = got.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, r - l);
+    }
+}
+
+#[test]
+fn strings_shorter_than_depth_reported_whole() {
+    let mut wt = DynamicWaveletTrie::new();
+    for s in ["01", "01", "0011", "000111"] {
+        wt.append(bs(s).as_bitstr()).unwrap();
+    }
+    let got: Vec<(String, usize)> = wt
+        .distinct_prefixes_in_range(0, 4, 4)
+        .iter()
+        .map(|(s, c)| (s.to_string(), *c))
+        .collect();
+    // "000111" truncates to "0001"; "0011" fits exactly; "01" is shorter.
+    assert_eq!(
+        got,
+        vec![("0001".into(), 1), ("0011".into(), 1), ("01".into(), 2)]
+    );
+}
+
+#[test]
+fn works_across_all_variants() {
+    let data = url_log(800, UrlLogConfig::default(), 3);
+    let stat = wavelet_trie::IndexedStrings::build(data.iter());
+    let mut app = AppendLog::new();
+    let mut dy = wavelet_trie::DynamicStrings::new();
+    for s in &data {
+        app.append(s);
+        dy.push(s);
+    }
+    let hlen = 22;
+    let a = stat.distinct_byte_prefixes_in_range(100, 700, hlen);
+    let b = app.distinct_byte_prefixes_in_range(100, 700, hlen);
+    let c = dy.distinct_byte_prefixes_in_range(100, 700, hlen);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+    assert!(!a.is_empty());
+}

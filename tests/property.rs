@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) on the core invariants:
+//! * every Wavelet Trie variant ≡ the naive model under arbitrary inputs;
+//! * the dynamic structures ≡ the model under arbitrary op sequences;
+//! * the bitvector substrates ≡ `Vec<bool>` models;
+//! * coder round-trips and order preservation.
+
+use proptest::prelude::*;
+use wavelet_trie::binarize::{Coder, NinthBitCoder};
+use wavelet_trie::{DynamicStrings, IndexedStrings, SequenceOps, WaveletTrie};
+use wt_baselines::NaiveSeq;
+use wt_bits::{AppendBitVec, BitAccess, BitRank, BitSelect, DynamicBitVec, EliasFano};
+use wt_trie::BitString;
+
+fn short_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::num::u8::ANY, 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn static_wt_matches_naive(data in proptest::collection::vec(short_string(), 1..80)) {
+        let idx = IndexedStrings::build(data.iter());
+        let naive = NaiveSeq::from_iter(data.iter());
+        let n = data.len();
+        for i in 0..n {
+            prop_assert_eq!(idx.get_bytes(i), naive.get(i).to_vec());
+        }
+        for s in data.iter().take(10) {
+            for pos in [0, n / 2, n] {
+                prop_assert_eq!(idx.rank(s, pos), naive.rank(s, pos));
+            }
+            let total = naive.rank(s, n);
+            for k in 0..total {
+                prop_assert_eq!(idx.select(s, k), naive.select(s, k));
+            }
+            // every non-empty byte prefix
+            for plen in 0..s.len().min(3) {
+                let p = &s[..plen];
+                prop_assert_eq!(idx.rank_prefix(p, n), naive.rank_prefix(p, n));
+                prop_assert_eq!(idx.select_prefix(p, 0), naive.select_prefix(p, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_ops_match_naive(
+        init in proptest::collection::vec(short_string(), 0..30),
+        ops in proptest::collection::vec((0u8..3, short_string(), proptest::num::u16::ANY), 0..60),
+    ) {
+        let mut dy = DynamicStrings::new();
+        let mut naive = NaiveSeq::new();
+        for s in &init {
+            dy.push(s);
+            naive.push(s);
+        }
+        for (op, s, r) in &ops {
+            let r = *r as usize;
+            match op {
+                0 => {
+                    let pos = r % (naive.len() + 1);
+                    dy.insert(s, pos);
+                    naive.insert(s, pos);
+                }
+                1 if !naive.is_empty() => {
+                    let pos = r % naive.len();
+                    prop_assert_eq!(dy.remove(pos), naive.remove(pos));
+                }
+                _ => {
+                    let pos = r % (naive.len() + 1);
+                    prop_assert_eq!(dy.rank(s, pos), naive.rank(s, pos));
+                    prop_assert_eq!(dy.select(s, r % 4), naive.select(s, r % 4));
+                }
+            }
+        }
+        prop_assert_eq!(dy.len(), naive.len());
+        for i in 0..naive.len() {
+            prop_assert_eq!(dy.get_bytes(i), naive.get(i).to_vec());
+        }
+    }
+
+    #[test]
+    fn coder_roundtrip_and_order(a in short_string(), b in short_string()) {
+        let c = NinthBitCoder;
+        let ea = c.encode(&a);
+        let eb = c.encode(&b);
+        prop_assert_eq!(c.decode(ea.as_bitstr()), a.clone());
+        prop_assert_eq!(c.decode(eb.as_bitstr()), b.clone());
+        // order preservation
+        prop_assert_eq!(ea.cmp(&eb), a.cmp(&b));
+        // prefix-freeness
+        if a != b {
+            prop_assert!(!ea.as_bitstr().starts_with(&eb.as_bitstr()));
+        }
+    }
+
+    #[test]
+    fn dynamic_bitvec_matches_model(
+        ops in proptest::collection::vec((0u8..2, proptest::num::u16::ANY, proptest::bool::ANY), 0..200),
+    ) {
+        let mut v = DynamicBitVec::new();
+        let mut m: Vec<bool> = Vec::new();
+        for (op, r, bit) in ops {
+            let r = r as usize;
+            match op {
+                0 => {
+                    let pos = r % (m.len() + 1);
+                    v.insert(pos, bit);
+                    m.insert(pos, bit);
+                }
+                _ if !m.is_empty() => {
+                    let pos = r % m.len();
+                    prop_assert_eq!(v.remove(pos), m.remove(pos));
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(v.len(), m.len());
+        let mut ones = 0;
+        for (i, &b) in m.iter().enumerate() {
+            prop_assert_eq!(v.get(i), b);
+            prop_assert_eq!(v.rank1(i), ones);
+            ones += b as usize;
+        }
+        let collected: Vec<bool> = v.iter().collect();
+        prop_assert_eq!(collected, m);
+    }
+
+    #[test]
+    fn append_bitvec_matches_model(bits in proptest::collection::vec(proptest::bool::ANY, 0..6000)) {
+        let v = AppendBitVec::from_bits(bits.iter().copied());
+        prop_assert_eq!(v.len(), bits.len());
+        let mut ones = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i), b);
+            prop_assert_eq!(v.rank1(i), ones);
+            if b {
+                prop_assert_eq!(v.select1(ones), Some(i));
+            } else {
+                prop_assert_eq!(v.select0(i - ones), Some(i));
+            }
+            ones += b as usize;
+        }
+    }
+
+    #[test]
+    fn elias_fano_matches_model(mut vals in proptest::collection::vec(proptest::num::u32::ANY, 0..300)) {
+        vals.sort_unstable();
+        let vals: Vec<u64> = vals.into_iter().map(u64::from).collect();
+        let ef = EliasFano::new(&vals);
+        prop_assert_eq!(ef.len(), vals.len());
+        for (i, &x) in vals.iter().enumerate() {
+            prop_assert_eq!(ef.get(i), x);
+        }
+        for probe in vals.iter().take(20) {
+            let naive = vals.iter().filter(|&&v| v <= *probe).count();
+            prop_assert_eq!(ef.rank_leq(*probe), naive);
+        }
+    }
+
+    #[test]
+    fn bit_level_trie_rejects_only_prefix_violations(data in proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, 0..9), 1..30)) {
+        // Build from raw bit strings: must succeed iff the set is prefix-free.
+        let strs: Vec<BitString> = data.iter().map(|v| BitString::from_bits(v.iter().copied())).collect();
+        let mut prefix_free = true;
+        'outer: for (i, a) in strs.iter().enumerate() {
+            for (j, b) in strs.iter().enumerate() {
+                if i != j && a != b && a.as_bitstr().starts_with(&b.as_bitstr()) {
+                    prefix_free = false;
+                    break 'outer;
+                }
+            }
+        }
+        let result = WaveletTrie::build(&strs);
+        prop_assert_eq!(result.is_ok(), prefix_free);
+        if let Ok(wt) = result {
+            for (i, s) in strs.iter().enumerate() {
+                prop_assert_eq!(&wt.access(i), s);
+            }
+        }
+    }
+}
