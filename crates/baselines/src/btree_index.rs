@@ -18,23 +18,20 @@ pub struct BTreeIndex {
     postings: BTreeMap<Vec<u8>, Vec<u32>>,
 }
 
-impl BTreeIndex {
-    /// Empty index.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Builds from an iterator of byte strings.
-    pub fn from_iter<I, S>(iter: I) -> Self
-    where
-        I: IntoIterator<Item = S>,
-        S: AsRef<[u8]>,
-    {
+impl<S: AsRef<[u8]>> FromIterator<S> for BTreeIndex {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
         let mut t = Self::new();
         for s in iter {
             t.push(s);
         }
         t
+    }
+}
+
+impl BTreeIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Appends `s` (positions only grow, so postings stay sorted).

@@ -28,24 +28,9 @@ impl Default for DictSequence {
     }
 }
 
-impl DictSequence {
-    /// Empty sequence.
-    pub fn new() -> Self {
-        DictSequence {
-            dict: HashMap::new(),
-            symbols: Vec::new(),
-            ids: Vec::new(),
-            tree: IntWaveletTree::new(&[], 1),
-            rebuilds: 0,
-        }
-    }
-
-    /// Builds from an iterator (single construction, no rebuild counting).
-    pub fn from_iter<I, S>(iter: I) -> Self
-    where
-        I: IntoIterator<Item = S>,
-        S: AsRef<[u8]>,
-    {
+/// Builds from an iterator (single construction, no rebuild counting).
+impl<S: AsRef<[u8]>> FromIterator<S> for DictSequence {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
         let mut d = Self::new();
         let mut pending: Vec<u64> = Vec::new();
         for s in iter {
@@ -56,6 +41,19 @@ impl DictSequence {
         d.rebuild();
         d.rebuilds = 0;
         d
+    }
+}
+
+impl DictSequence {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        DictSequence {
+            dict: HashMap::new(),
+            symbols: Vec::new(),
+            ids: Vec::new(),
+            tree: IntWaveletTree::new(&[], 1),
+            rebuilds: 0,
+        }
     }
 
     fn intern(&mut self, s: &[u8]) -> u64 {

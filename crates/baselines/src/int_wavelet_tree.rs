@@ -24,7 +24,11 @@ impl IntWaveletTree {
     /// If a symbol is out of range or `sigma == 0`.
     pub fn new(seq: &[u64], sigma: u64) -> Self {
         assert!(sigma > 0, "alphabet must be nonempty");
-        let width = if sigma <= 1 { 1 } else { 64 - (sigma - 1).leading_zeros() };
+        let width = if sigma <= 1 {
+            1
+        } else {
+            64 - (sigma - 1).leading_zeros()
+        };
         let n_nodes = 1usize << width; // heap positions 1..2^width
         let mut nodes: Vec<Option<RawBitVec>> = vec![None; n_nodes];
         // Distribute symbols top-down, one level at a time.

@@ -8,21 +8,18 @@ pub struct NaiveSeq {
     data: Vec<Vec<u8>>,
 }
 
+impl<S: AsRef<[u8]>> FromIterator<S> for NaiveSeq {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        NaiveSeq {
+            data: iter.into_iter().map(|s| s.as_ref().to_vec()).collect(),
+        }
+    }
+}
+
 impl NaiveSeq {
     /// Empty sequence.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Builds from an iterator of byte strings.
-    pub fn from_iter<I, S>(iter: I) -> Self
-    where
-        I: IntoIterator<Item = S>,
-        S: AsRef<[u8]>,
-    {
-        NaiveSeq {
-            data: iter.into_iter().map(|s| s.as_ref().to_vec()).collect(),
-        }
     }
 
     /// Number of strings.
@@ -58,7 +55,10 @@ impl NaiveSeq {
     /// `Rank(s, pos)` by scanning.
     pub fn rank(&self, s: impl AsRef<[u8]>, pos: usize) -> usize {
         let s = s.as_ref();
-        self.data[..pos].iter().filter(|t| t.as_slice() == s).count()
+        self.data[..pos]
+            .iter()
+            .filter(|t| t.as_slice() == s)
+            .count()
     }
 
     /// `Select(s, idx)` by scanning.

@@ -12,7 +12,9 @@ fn main() {
     let seeds = 200u64;
     println!("α = 2, {seeds} random multipliers per row; u = 2^64\n");
     let t = Table::new(
-        &["|Σ|", "log|Σ|", "bound", "max h", "mean h", "viol.", "pred."],
+        &[
+            "|Σ|", "log|Σ|", "bound", "max h", "mean h", "viol.", "pred.",
+        ],
         &[8, 8, 7, 7, 8, 7, 9],
     );
     for &sigma in &[16usize, 64, 256, 1024] {

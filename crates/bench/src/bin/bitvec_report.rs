@@ -131,7 +131,10 @@ fn main() {
 
     // Init(b, n): the Remark 4.2 property.
     println!("Init(b, n) cost (Remark 4.2: must not be Ω(n/w)):");
-    let t = Table::new(&["n", "Init RLE+γ", "Init plain", "RLE bits"], &[12, 12, 12, 10]);
+    let t = Table::new(
+        &["n", "Init RLE+γ", "Init plain", "RLE bits"],
+        &[12, 12, 12, 10],
+    );
     for &n in &[1_000usize, 1_000_000, 1_000_000_000] {
         let init = time_per_op_ns(100, 3, || {
             std::hint::black_box(DynamicBitVec::filled(true, n));
@@ -148,7 +151,11 @@ fn main() {
         t.row(&[
             &n.to_string(),
             &fmt_ns(init),
-            &(if plain.is_nan() { "(skipped)".into() } else { fmt_ns(plain) }),
+            &(if plain.is_nan() {
+                "(skipped)".into()
+            } else {
+                fmt_ns(plain)
+            }),
             &v.size_bits().to_string(),
         ]);
     }

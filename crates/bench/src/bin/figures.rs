@@ -41,9 +41,15 @@ fn main() {
         .map(|c| if "cdr".contains(c) { '1' } else { '0' })
         .collect();
     let left: String = text.chars().filter(|c| "ab".contains(*c)).collect();
-    let left_bits: String = left.chars().map(|c| if c == 'b' { '1' } else { '0' }).collect();
+    let left_bits: String = left
+        .chars()
+        .map(|c| if c == 'b' { '1' } else { '0' })
+        .collect();
     let right: String = text.chars().filter(|c| "cdr".contains(*c)).collect();
-    let right_bits: String = right.chars().map(|c| if c == 'c' { '0' } else { '1' }).collect();
+    let right_bits: String = right
+        .chars()
+        .map(|c| if c == 'c' { '0' } else { '1' })
+        .collect();
     println!("  {text}");
     println!("  {top}        {{a,b}} vs {{c,d,r}}");
     println!("  ├─0: {left} / {left_bits}   {{a}} vs {{b}}");

@@ -16,7 +16,11 @@ fn main() {
     // Two regimes: words = few distinct strings per window (the §5 sweet
     // spot); URLs = adversarially many distinct strings per window.
     run("word text (|Sset| small)", word_text(n, 400, 77), n);
-    run("URL log (|Sset| = Θ(n))", url_log(n, UrlLogConfig::default(), 77), n);
+    run(
+        "URL log (|Sset| = Θ(n))",
+        url_log(n, UrlLogConfig::default(), 77),
+        n,
+    );
 }
 
 fn run(name: &str, data: Vec<String>, n: usize) {

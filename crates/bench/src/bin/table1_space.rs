@@ -106,13 +106,21 @@ fn report(name: &str, data: Vec<String>) {
     // Static breakdown (Theorem 3.7 components).
     println!(
         "   static breakdown: tree={} labels={} (+delim {}) bitvectors={} (+delim {}) flags={}",
-        sp.tree_bits, sp.label_bits, sp.label_delim_bits, sp.bv_bits, sp.bv_delim_bits, sp.flags_bits
+        sp.tree_bits,
+        sp.label_bits,
+        sp.label_delim_bits,
+        sp.bv_bits,
+        sp.bv_delim_bits,
+        sp.flags_bits
     );
 }
 
 fn main() {
     println!("== Table 1 (space): measured bits vs LB = LT(Sset) + nH0(S) ==");
-    report("URL access log", url_log(50_000, UrlLogConfig::default(), 3));
+    report(
+        "URL access log",
+        url_log(50_000, UrlLogConfig::default(), 3),
+    );
     report("word text", word_text(50_000, 400, 4));
     report(
         "u64 column (50 values in 2^64)",

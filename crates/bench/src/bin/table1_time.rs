@@ -8,9 +8,7 @@
 //! * Append (append-only) flat; Insert/Delete (dynamic) ~log n.
 
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
-use wavelet_trie::{
-    AppendWaveletTrie, BitString, DynamicWaveletTrie, SequenceOps, WaveletTrie,
-};
+use wavelet_trie::{AppendWaveletTrie, BitString, DynamicWaveletTrie, SequenceOps, WaveletTrie};
 use wt_bench::{fmt_ns, time_per_op_ns, Table};
 use wt_workloads::{url_log, UrlLogConfig};
 
@@ -24,7 +22,9 @@ fn main() {
 
     println!("== Table 1 (time): per-operation cost vs n, URL-log workload ==\n");
     let t = Table::new(
-        &["variant", "n", "Access", "Rank", "Select", "RankPfx", "SelPfx", "update"],
+        &[
+            "variant", "n", "Access", "Rank", "Select", "RankPfx", "SelPfx", "update",
+        ],
         &[9, 7, 9, 9, 9, 9, 9, 10],
     );
 

@@ -58,7 +58,10 @@ impl Table {
             widths: widths.to_vec(),
         };
         t.row(headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         t
     }
 
@@ -98,7 +101,9 @@ mod tests {
 
     #[test]
     fn helpers_do_not_panic() {
-        let ns = time_per_op_ns(10, 3, || { std::hint::black_box(1 + 1); });
+        let ns = time_per_op_ns(10, 3, || {
+            std::hint::black_box(1 + 1);
+        });
         assert!(ns >= 0.0);
         let (v, ms) = time_once_ms(|| 42);
         assert_eq!(v, 42);

@@ -92,7 +92,11 @@ impl SmallTail {
     }
 
     fn select(&self, bit: bool, k: usize) -> Option<usize> {
-        let total = if bit { self.ones } else { self.len() - self.ones };
+        let total = if bit {
+            self.ones
+        } else {
+            self.len() - self.ones
+        };
         if k >= total {
             return None;
         }
@@ -149,7 +153,11 @@ struct PendingSeal {
 impl PendingSeal {
     fn new(frozen: SmallTail) -> Self {
         let builder = RrrBuilder::new(frozen.len());
-        PendingSeal { frozen, builder, fed: 0 }
+        PendingSeal {
+            frozen,
+            builder,
+            fed: 0,
+        }
     }
 
     /// Advances construction by up to `steps` RRR blocks; returns the
@@ -160,7 +168,8 @@ impl PendingSeal {
                 return true;
             }
             let width = RRR_BLOCK_BITS.min(self.frozen.len() - self.fed);
-            self.builder.push_block(self.frozen.bits.get_bits(self.fed, width));
+            self.builder
+                .push_block(self.frozen.bits.get_bits(self.fed, width));
             self.fed += width;
         }
         self.builder.is_complete()
@@ -324,7 +333,10 @@ impl AppendBitVec {
         }
         if lo < self.sealed.len() && count_before(lo + 1) > k {
             let rem = k - count_before(lo);
-            let p = self.sealed[lo].rrr.select(bit, rem).expect("in-block select");
+            let p = self.sealed[lo]
+                .rrr
+                .select(bit, rem)
+                .expect("in-block select");
             return Some(lo * block_bits + p);
         }
         // Target is in the pending frozen block or the tail.
@@ -369,7 +381,11 @@ impl BitAccess for AppendBitVec {
 
 impl BitRank for AppendBitVec {
     fn rank1(&self, i: usize) -> usize {
-        assert!(i <= self.len, "rank index {i} out of bounds (len {})", self.len);
+        assert!(
+            i <= self.len,
+            "rank index {i} out of bounds (len {})",
+            self.len
+        );
         let block_bits = self.cfg.block_bits as usize;
         if i < self.sealed_bits() {
             let b = i / block_bits;
@@ -499,7 +515,10 @@ mod tests {
             v.push(i % 2 == 0);
         }
         assert!(v.pending.is_some(), "seal should be in flight");
-        assert_eq!(v.rank1(cfg.block_bits as usize), cfg.block_bits as usize / 2);
+        assert_eq!(
+            v.rank1(cfg.block_bits as usize),
+            cfg.block_bits as usize / 2
+        );
         assert_eq!(v.rank1(n), n / 2);
         assert!(v.get(0));
         assert_eq!(v.select1(10), Some(20));

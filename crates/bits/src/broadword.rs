@@ -86,7 +86,11 @@ mod tests {
         ];
         for &p in &patterns {
             for k in 0..p.count_ones() {
-                assert_eq!(select_in_word(p, k), naive_select(p, k).unwrap(), "p={p:#x} k={k}");
+                assert_eq!(
+                    select_in_word(p, k),
+                    naive_select(p, k).unwrap(),
+                    "p={p:#x} k={k}"
+                );
             }
         }
     }

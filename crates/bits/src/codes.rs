@@ -28,7 +28,8 @@ pub fn delta_len(x: u64) -> usize {
 pub fn gamma_encode(out: &mut RawBitVec, x: u64) {
     debug_assert!(x >= 1);
     let n = 63 - x.leading_zeros() as usize;
-    out.push_bits(0, n); // N zeros
+    // N zeros.
+    out.push_bits(0, n);
     // N+1 significant bits; we emit them LSB-first with the top bit last so
     // the decoder (which reads the marker 1 first) sees MSB-first order.
     // Simpler: emit the marker 1, then the N low bits LSB-first, and have the

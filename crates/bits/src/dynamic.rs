@@ -105,7 +105,13 @@ impl Chunk {
 
     /// Position of the `k`-th bit equal to `bit` (guaranteed to exist).
     fn select(&self, bit: bool, k: u64) -> u64 {
-        debug_assert!(k < if bit { self.nones } else { self.nbits - self.nones });
+        debug_assert!(
+            k < if bit {
+                self.nones
+            } else {
+                self.nbits - self.nones
+            }
+        );
         let mut r = BitReader::new(&self.enc, 0);
         let mut seen = 0u64;
         let mut matched = 0u64;
@@ -481,7 +487,9 @@ impl DynamicBitVec {
         } else {
             Chunk::from_runs(bit, &[n as u64])
         };
-        DynamicBitVec { root: Node::Leaf(chunk) }
+        DynamicBitVec {
+            root: Node::Leaf(chunk),
+        }
     }
 
     /// Builds by repeated insertion at the end.
@@ -495,7 +503,10 @@ impl DynamicBitVec {
 
     /// Inserts `bit` at position `pos <= len`.
     pub fn insert(&mut self, pos: usize, bit: bool) {
-        assert!(pos as u64 <= self.root.nbits(), "insert position out of bounds");
+        assert!(
+            pos as u64 <= self.root.nbits(),
+            "insert position out of bounds"
+        );
         let split = SCRATCH.with(|sc| self.root.insert(pos as u64, bit, &mut sc.borrow_mut()));
         if let Some(split) = split {
             let old = std::mem::replace(&mut self.root, Node::Leaf(Chunk::default()));
@@ -517,7 +528,10 @@ impl DynamicBitVec {
 
     /// Deletes and returns the bit at `pos < len`.
     pub fn remove(&mut self, pos: usize) -> bool {
-        assert!((pos as u64) < self.root.nbits(), "delete position out of bounds");
+        assert!(
+            (pos as u64) < self.root.nbits(),
+            "delete position out of bounds"
+        );
         let bit = SCRATCH.with(|sc| self.root.delete(pos as u64, &mut sc.borrow_mut()));
         // Collapse a single-child root so height can shrink.
         loop {
@@ -785,7 +799,11 @@ mod tests {
             let r = next();
             let len = m.m.len();
             if len == 0 || r % 3 != 0 {
-                let pos = if len == 0 { 0 } else { (next() % (len as u64 + 1)) as usize };
+                let pos = if len == 0 {
+                    0
+                } else {
+                    (next() % (len as u64 + 1)) as usize
+                };
                 m.insert(pos, next() % 2 == 0);
             } else {
                 let pos = (next() % len as u64) as usize;
@@ -805,7 +823,11 @@ mod tests {
         for i in 0..100_000 {
             v.push((i / 1000) % 2 == 0);
         }
-        assert!(v.size_bits() < 20_000, "RLE should compress runs: {}", v.size_bits());
+        assert!(
+            v.size_bits() < 20_000,
+            "RLE should compress runs: {}",
+            v.size_bits()
+        );
         // Alternating bits are the worst case: space grows but ops stay correct.
         let mut w = DynamicBitVec::new();
         for i in 0..10_000 {

@@ -101,7 +101,11 @@ impl EliasFano {
     /// If `i >= len()`.
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
-        assert!(i < self.n, "EliasFano index {i} out of bounds (len {})", self.n);
+        assert!(
+            i < self.n,
+            "EliasFano index {i} out of bounds (len {})",
+            self.n
+        );
         let hi = (self.high.select1(i).expect("directory") - i) as u64;
         if self.low_width == 0 {
             hi

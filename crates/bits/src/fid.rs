@@ -170,7 +170,11 @@ impl Fid {
 
     /// Shared select kernel: `bit` chooses ones/zeros.
     fn select_generic(&self, bit: bool, k: usize) -> Option<usize> {
-        let total = if bit { self.ones } else { self.bits.len() - self.ones };
+        let total = if bit {
+            self.ones
+        } else {
+            self.bits.len() - self.ones
+        };
         if k >= total {
             return None;
         }
@@ -365,7 +369,9 @@ mod tests {
 
     #[test]
     fn boundary_sizes() {
-        for n in [1usize, 63, 64, 65, 127, 128, 129, 512, 513, 8191, 8192, 8193] {
+        for n in [
+            1usize, 63, 64, 65, 127, 128, 129, 512, 513, 8191, 8192, 8193,
+        ] {
             let bits = RawBitVec::from_bits((0..n).map(|i| i % 2 == 1));
             check_against_scan(&bits);
         }

@@ -79,13 +79,21 @@ impl BitRank for OffsetBitVec {
                 0
             }
         } else {
-            let prefix = if self.implicit_bit { self.implicit_len } else { 0 };
+            let prefix = if self.implicit_bit {
+                self.implicit_len
+            } else {
+                0
+            };
             prefix + self.rest.rank1(i - self.implicit_len)
         }
     }
 
     fn count_ones(&self) -> usize {
-        let prefix = if self.implicit_bit { self.implicit_len } else { 0 };
+        let prefix = if self.implicit_bit {
+            self.implicit_len
+        } else {
+            0
+        };
         prefix + self.rest.count_ones()
     }
 }
@@ -95,7 +103,11 @@ impl BitSelect for OffsetBitVec {
         if self.implicit_bit && k < self.implicit_len {
             return Some(k);
         }
-        let prefix = if self.implicit_bit { self.implicit_len } else { 0 };
+        let prefix = if self.implicit_bit {
+            self.implicit_len
+        } else {
+            0
+        };
         self.rest.select1(k - prefix).map(|p| p + self.implicit_len)
     }
 
@@ -103,7 +115,11 @@ impl BitSelect for OffsetBitVec {
         if !self.implicit_bit && k < self.implicit_len {
             return Some(k);
         }
-        let prefix = if self.implicit_bit { 0 } else { self.implicit_len };
+        let prefix = if self.implicit_bit {
+            0
+        } else {
+            self.implicit_len
+        };
         self.rest.select0(k - prefix).map(|p| p + self.implicit_len)
     }
 }

@@ -88,7 +88,11 @@ impl RawBitVec {
     /// If `i >= len()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         unsafe { self.get_unchecked(i) }
     }
 
@@ -107,7 +111,11 @@ impl RawBitVec {
     /// If `i >= len()`.
     #[inline]
     pub fn set(&mut self, i: usize, bit: bool) {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if bit {
@@ -242,7 +250,8 @@ impl RawBitVec {
         for (wi, &word) in self.words.iter().enumerate() {
             let c = word.count_ones() as usize;
             if remaining < c {
-                let pos = wi * 64 + crate::broadword::select_in_word(word, remaining as u32) as usize;
+                let pos =
+                    wi * 64 + crate::broadword::select_in_word(word, remaining as u32) as usize;
                 return (pos < self.len).then_some(pos);
             }
             remaining -= c;
@@ -257,7 +266,8 @@ impl RawBitVec {
             let inv = !word;
             let c = inv.count_ones() as usize;
             if remaining < c {
-                let pos = wi * 64 + crate::broadword::select_in_word(inv, remaining as u32) as usize;
+                let pos =
+                    wi * 64 + crate::broadword::select_in_word(inv, remaining as u32) as usize;
                 return (pos < self.len).then_some(pos);
             }
             remaining -= c;
@@ -366,7 +376,13 @@ mod tests {
     fn push_bits_matches_push() {
         let mut a = RawBitVec::new();
         let mut b = RawBitVec::new();
-        let vals = [(0b1011u64, 4usize), (0, 1), (u64::MAX, 64), (0b1, 1), (0x1234_5678, 33)];
+        let vals = [
+            (0b1011u64, 4usize),
+            (0, 1),
+            (u64::MAX, 64),
+            (0b1, 1),
+            (0x1234_5678, 33),
+        ];
         for &(v, w) in &vals {
             a.push_bits(v, w);
             for i in 0..w {

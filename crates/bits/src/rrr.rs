@@ -139,7 +139,11 @@ impl RrrVector {
     fn decode_block_at(&self, block: usize, ptr: usize) -> u64 {
         let c = self.class_of(block);
         let w = OFFSET_WIDTH[c as usize] as usize;
-        let off = if w == 0 { 0 } else { self.offsets.get_bits(ptr, w) };
+        let off = if w == 0 {
+            0
+        } else {
+            self.offsets.get_bits(ptr, w)
+        };
         block_unrank_offset(off, c)
     }
 
@@ -336,7 +340,10 @@ impl RrrBuilder {
     /// Pushes the next 63-bit block (the final block may be partial; its
     /// upper padding bits must be zero).
     pub fn push_block(&mut self, word: u64) {
-        debug_assert!(!self.is_complete(), "pushed more blocks than target_len holds");
+        debug_assert!(
+            !self.is_complete(),
+            "pushed more blocks than target_len holds"
+        );
         debug_assert_eq!(word >> 63, 0);
         if self.blocks_pushed.is_multiple_of(SB_BLOCKS) {
             self.sb_rank.push(self.ones as u64);

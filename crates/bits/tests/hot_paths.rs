@@ -1,0 +1,315 @@
+//! Edge-case coverage for the wt-bits hot paths: word-boundary rank/select
+//! on the raw bitvector and the Fid directory, RRR block class/offset
+//! round-trips, and dynamic insert/delete at the boundary positions the
+//! RLE+γ tree splits on (0, 63, 64, len).
+
+use wt_bits::{
+    BitAccess, BitRank, BitSelect, DynamicBitVec, Fid, RawBitVec, RrrBuilder, RrrVector,
+};
+
+/// splitmix64 — deterministic bit-pattern source.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pattern(len: usize, seed: u64) -> Vec<bool> {
+    (0..len).map(|i| mix(seed ^ i as u64) & 1 == 1).collect()
+}
+
+fn check_rank_select_matches_model(bits: &[bool], v: &impl BitSelect) {
+    assert_eq!(v.len(), bits.len());
+    let mut ones = 0usize;
+    for (i, &b) in bits.iter().enumerate() {
+        assert_eq!(v.get(i), b, "get({i})");
+        assert_eq!(v.rank1(i), ones, "rank1({i})");
+        assert_eq!(v.rank0(i), i - ones, "rank0({i})");
+        if b {
+            assert_eq!(v.select1(ones), Some(i), "select1({ones})");
+        } else {
+            assert_eq!(v.select0(i - ones), Some(i), "select0({})", i - ones);
+        }
+        ones += b as usize;
+    }
+    assert_eq!(v.rank1(bits.len()), ones, "rank1(len)");
+    assert_eq!(v.select1(ones), None, "select1 past last one");
+    assert_eq!(v.select0(bits.len() - ones), None, "select0 past last zero");
+}
+
+// ---------------------------------------------------------------------------
+// RawBitVec
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raw_scan_rank_select_straddle_word_boundaries() {
+    // Lengths hugging the 64-bit word and 512-bit Fid-block boundaries.
+    for len in [1, 63, 64, 65, 127, 128, 129, 511, 512, 513, 640] {
+        let bits = pattern(len, len as u64);
+        let raw = RawBitVec::from_bits(bits.iter().copied());
+        let mut ones = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(raw.get(i), b, "len={len} get({i})");
+            assert_eq!(raw.rank1_scan(i), ones, "len={len} rank1_scan({i})");
+            if b {
+                assert_eq!(raw.select1_scan(ones), Some(i), "len={len}");
+            } else {
+                assert_eq!(raw.select0_scan(i - ones), Some(i), "len={len}");
+            }
+            ones += b as usize;
+        }
+        assert_eq!(raw.rank1_scan(len), ones);
+        assert_eq!(raw.count_ones(), ones);
+        assert_eq!(raw.select1_scan(ones), None);
+    }
+}
+
+#[test]
+fn raw_get_bits_and_push_bits_across_words() {
+    let mut raw = RawBitVec::new();
+    // Push widths that force every push/get to straddle a word boundary.
+    let widths = [1usize, 7, 13, 31, 33, 64, 5, 64, 3];
+    let mut expected = Vec::new();
+    for (k, &w) in widths.iter().enumerate() {
+        let v = mix(k as u64) & if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        raw.push_bits(v, w);
+        expected.push((v, w));
+    }
+    let mut at = 0usize;
+    for &(v, w) in &expected {
+        assert_eq!(raw.get_bits(at, w), v, "width {w} at bit {at}");
+        at += w;
+    }
+    assert_eq!(raw.len(), at);
+    // Full-word extraction aligned exactly on the boundary.
+    let aligned = RawBitVec::from_bits((0..192).map(|i| i % 3 == 0));
+    assert_eq!(aligned.get_bits(64, 64), aligned.word(1));
+    assert_eq!(aligned.get_bits(128, 64), aligned.word(2));
+}
+
+#[test]
+fn raw_extend_from_range_unaligned() {
+    let src = RawBitVec::from_bits(pattern(300, 9));
+    for (start, len) in [(0, 300), (1, 63), (63, 2), (64, 64), (65, 130), (250, 50)] {
+        let mut dst = RawBitVec::from_bits([true, false, true]);
+        dst.extend_from_range(&src, start, len);
+        assert_eq!(dst.len(), 3 + len);
+        for i in 0..len {
+            assert_eq!(dst.get(3 + i), src.get(start + i), "start={start} i={i}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fid
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fid_rank_select_at_word_and_block_boundaries() {
+    for len in [1, 63, 64, 65, 511, 512, 513, 1024, 1500] {
+        let bits = pattern(len, 0xF1D ^ len as u64);
+        let fid = Fid::new(RawBitVec::from_bits(bits.iter().copied()));
+        check_rank_select_matches_model(&bits, &fid);
+    }
+}
+
+#[test]
+fn fid_extreme_densities() {
+    for len in [64, 512, 2048] {
+        let ones = vec![true; len];
+        let zeros = vec![false; len];
+        check_rank_select_matches_model(
+            &ones,
+            &Fid::new(RawBitVec::from_bits(ones.iter().copied())),
+        );
+        check_rank_select_matches_model(
+            &zeros,
+            &Fid::new(RawBitVec::from_bits(zeros.iter().copied())),
+        );
+        // A single one at each word boundary position.
+        for pos in [0, 63, (len - 1).min(64), len - 1] {
+            let mut bits = vec![false; len];
+            bits[pos] = true;
+            let fid = Fid::new(RawBitVec::from_bits(bits.iter().copied()));
+            assert_eq!(fid.select1(0), Some(pos));
+            assert_eq!(fid.rank1(len), 1);
+            check_rank_select_matches_model(&bits, &fid);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RRR
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rrr_class_offset_roundtrip_all_block_contents() {
+    // Each 64-bit block is stored as (class = popcount, offset); decoding
+    // must reconstruct the exact word. Cover every class 0..=64 plus mixed
+    // pseudorandom residue blocks and a partial tail block.
+    let mut words: Vec<u64> = Vec::new();
+    for c in 0..=64u32 {
+        // canonical member of the class: c low bits set
+        words.push(if c == 64 { u64::MAX } else { (1u64 << c) - 1 });
+        // scattered member of the same class
+        let mut w = 0u64;
+        let mut placed = 0;
+        let mut s = c as u64;
+        while placed < c {
+            s = mix(s);
+            let b = s % 64;
+            if w & (1 << b) == 0 {
+                w |= 1 << b;
+                placed += 1;
+            }
+        }
+        words.push(w);
+    }
+    let mut bits: Vec<bool> = Vec::new();
+    for &w in &words {
+        for i in 0..64 {
+            bits.push(w >> i & 1 == 1);
+        }
+    }
+    bits.extend(pattern(37, 5)); // ragged tail
+    let rrr = RrrVector::from_bits(bits.iter().copied());
+    let back = rrr.to_raw();
+    assert_eq!(back.len(), bits.len());
+    for (i, &b) in bits.iter().enumerate() {
+        assert_eq!(back.get(i), b, "round-trip bit {i}");
+    }
+    check_rank_select_matches_model(&bits, &rrr);
+}
+
+#[test]
+fn rrr_rank_select_word_boundary_lengths() {
+    for len in [1, 63, 64, 65, 127, 128, 129, 1000] {
+        for (seed, name) in [(7u64, "mixed"), (u64::MAX, "sparse")] {
+            let bits: Vec<bool> = if name == "sparse" {
+                (0..len).map(|i| i % 97 == 0).collect()
+            } else {
+                pattern(len, seed ^ len as u64)
+            };
+            let rrr = RrrVector::from_bits(bits.iter().copied());
+            check_rank_select_matches_model(&bits, &rrr);
+        }
+    }
+}
+
+#[test]
+fn rrr_builder_matches_from_bits() {
+    // Blocks are RRR_BLOCK_BITS = 63 bits wide, so every push straddles the
+    // 64-bit words of the source.
+    let bits = pattern(63 * 9 + 17, 21);
+    let raw = RawBitVec::from_bits(bits.iter().copied());
+    let mut builder = RrrBuilder::new(bits.len());
+    assert_eq!(
+        builder.total_blocks(),
+        bits.len().div_ceil(wt_bits::rrr::RRR_BLOCK_BITS)
+    );
+    let mut pushed = 0;
+    while !builder.is_complete() {
+        let at = pushed * wt_bits::rrr::RRR_BLOCK_BITS;
+        let width = wt_bits::rrr::RRR_BLOCK_BITS.min(bits.len() - at);
+        builder.push_block(raw.get_bits(at, width));
+        pushed += 1;
+        assert_eq!(builder.blocks_pushed(), pushed);
+    }
+    let rrr = builder.finish();
+    check_rank_select_matches_model(&bits, &rrr);
+}
+
+// ---------------------------------------------------------------------------
+// DynamicBitVec
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dynamic_insert_at_boundary_positions() {
+    // Insert at 0, 63, 64 and len on top of a 64-bit base, mirrored on a model.
+    let base = pattern(64, 77);
+    for &pos in &[0usize, 63, 64] {
+        for &bit in &[false, true] {
+            let mut v = DynamicBitVec::from_bits(base.iter().copied());
+            let mut m = base.clone();
+            v.insert(pos, bit);
+            m.insert(pos, bit);
+            let len = m.len();
+            v.insert(len, !bit); // insert at len == append
+            m.insert(len, !bit);
+            assert_eq!(v.len(), m.len());
+            let collected: Vec<bool> = v.iter().collect();
+            assert_eq!(collected, m, "insert at {pos}");
+            let mut ones = 0;
+            for (i, &b) in m.iter().enumerate() {
+                assert_eq!(v.get(i), b);
+                assert_eq!(v.rank1(i), ones);
+                ones += b as usize;
+            }
+        }
+    }
+    // Insert at 0 into an empty vector.
+    let mut v = DynamicBitVec::new();
+    v.insert(0, true);
+    assert_eq!(v.len(), 1);
+    assert!(v.get(0));
+}
+
+#[test]
+fn dynamic_remove_at_boundary_positions() {
+    let base = pattern(130, 3);
+    for &pos in &[0usize, 63, 64, 129] {
+        let mut v = DynamicBitVec::from_bits(base.iter().copied());
+        let mut m = base.clone();
+        assert_eq!(v.remove(pos), m.remove(pos), "removed bit at {pos}");
+        assert_eq!(v.len(), m.len());
+        let collected: Vec<bool> = v.iter().collect();
+        assert_eq!(collected, m, "remove at {pos}");
+    }
+    // Drain entirely from the front, then from the back.
+    let mut v = DynamicBitVec::from_bits(base.iter().copied());
+    let mut m = base.clone();
+    while !m.is_empty() {
+        assert_eq!(v.remove(0), m.remove(0));
+    }
+    assert_eq!(v.len(), 0);
+    let mut v = DynamicBitVec::from_bits(base.iter().copied());
+    let mut m = base;
+    while !m.is_empty() {
+        let last = m.len() - 1;
+        assert_eq!(v.remove(last), m.remove(last));
+    }
+    assert_eq!(v.len(), 0);
+}
+
+#[test]
+fn dynamic_interleaved_boundary_churn() {
+    // Repeated insert/remove pinned to the 0/63/64/len hot spots, against a
+    // model, with full rank/select verification at the end.
+    let mut v = DynamicBitVec::new();
+    let mut m: Vec<bool> = Vec::new();
+    let mut s = 0xD1Au64;
+    for step in 0..800 {
+        s = mix(s);
+        let bit = s & 1 == 1;
+        let choice = (s >> 1) % 5;
+        let pos = match choice {
+            0 => 0,
+            1 => 63.min(m.len()),
+            2 => 64.min(m.len()),
+            _ => m.len(),
+        };
+        if choice == 4 && !m.is_empty() && step % 3 == 0 {
+            let p = pos.min(m.len() - 1);
+            assert_eq!(v.remove(p), m.remove(p));
+        } else {
+            v.insert(pos, bit);
+            m.insert(pos, bit);
+        }
+        assert_eq!(v.len(), m.len());
+    }
+    check_rank_select_matches_model(&m, &v);
+    let (bit, rank) = v.access_rank(100);
+    assert_eq!(bit, m[100]);
+    assert_eq!(rank, m[..100].iter().filter(|&&b| b).count());
+}

@@ -239,7 +239,10 @@ mod tests {
             assert_eq!(lsb.decode_u64(lsb.encode_u64(x).as_bitstr()), x);
         }
         let msb64 = FixedWidthMsb::new(64);
-        assert_eq!(msb64.decode_u64(msb64.encode_u64(u64::MAX).as_bitstr()), u64::MAX);
+        assert_eq!(
+            msb64.decode_u64(msb64.encode_u64(u64::MAX).as_bitstr()),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -350,7 +350,9 @@ impl<B: WtBitVecRemove> DynWaveletTrie<B> {
                 Node::Internal(int) => *int,
                 Node::Leaf(_) => unreachable!(),
             };
-            let Internal { label, children, .. } = int;
+            let Internal {
+                label, children, ..
+            } = int;
             let [c0, c1] = children;
             let mut sibling = if b { c0 } else { c1 };
             let mut merged = label;
@@ -632,7 +634,7 @@ mod tests {
 
     #[test]
     fn pseudorandom_ops_against_model() {
-        let mut s = 0x0DDB_A11_5EEDu64;
+        let mut s = 0x00DD_BA11_5EED_u64;
         let mut next = move || {
             s ^= s << 13;
             s ^= s >> 7;
@@ -677,8 +679,16 @@ mod tests {
         // The split added one internal node + leaf (O(w) each: two Node
         // structs of a few hundred bytes) and an O(1) offset bitvector,
         // not a 10k-bit payload.
-        assert!(pt_after - pt_before < 16 * 1024, "PT grew by {}", pt_after - pt_before);
-        assert!(bv_after - bv_before < 16 * 1024, "BV grew by {}", bv_after - bv_before);
+        assert!(
+            pt_after - pt_before < 16 * 1024,
+            "PT grew by {}",
+            pt_after - pt_before
+        );
+        assert!(
+            bv_after - bv_before < 16 * 1024,
+            "BV grew by {}",
+            bv_after - bv_before
+        );
         assert_eq!(wt.count(bs("0000000010").as_bitstr()), 1);
         assert_eq!(wt.count(bs("0000000001").as_bitstr()), 10_000);
     }

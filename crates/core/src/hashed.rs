@@ -61,7 +61,11 @@ impl RandomizedWaveletTree {
     /// If `a` is even or `width` is not in `1..=64`.
     pub fn with_multiplier(width: u32, a: u64) -> Self {
         assert!(a % 2 == 1, "multiplier must be odd");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         RandomizedWaveletTree {
             inner: DynamicWaveletTrie::new(),
             coder: FixedWidthMsb::new(width),
@@ -85,7 +89,9 @@ impl RandomizedWaveletTree {
 
     #[inline]
     fn decode(&self, b: &BitString) -> u64 {
-        self.a_inv.wrapping_mul(self.coder.decode_u64(b.as_bitstr())) & self.mask
+        self.a_inv
+            .wrapping_mul(self.coder.decode_u64(b.as_bitstr()))
+            & self.mask
     }
 
     /// Sequence length.

@@ -188,7 +188,11 @@ fn map_up<'a, T: TrieNav>(t: &'a T, path: &[(T::Node<'a>, bool)], idx: usize) ->
 }
 
 /// Number of occurrences of the subtree rooted at `node` (given its path).
-fn subtree_count<'a, T: TrieNav>(t: &'a T, node: T::Node<'a>, path: &[(T::Node<'a>, bool)]) -> usize {
+fn subtree_count<'a, T: TrieNav>(
+    t: &'a T,
+    node: T::Node<'a>,
+    path: &[(T::Node<'a>, bool)],
+) -> usize {
     if !t.nav_is_leaf(node) {
         t.nav_bv_len(node)
     } else {
@@ -253,9 +257,7 @@ pub(crate) fn total_bitvector_bits<T: TrieNav>(t: &T) -> usize {
         if t.nav_is_leaf(v) {
             0
         } else {
-            t.nav_bv_len(v)
-                + rec(t, t.nav_child(v, false))
-                + rec(t, t.nav_child(v, true))
+            t.nav_bv_len(v) + rec(t, t.nav_child(v, false)) + rec(t, t.nav_child(v, true))
         }
     }
     t.nav_root().map_or(0, |r| rec(t, r))

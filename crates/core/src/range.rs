@@ -235,7 +235,15 @@ fn frequent_rec<'a, T: TrieNav>(
     }
     if (r - zr) - (l - zl) >= min_count {
         prefix.push(true);
-        frequent_rec(t, t.nav_child(v, true), l - zl, r - zr, min_count, prefix, f);
+        frequent_rec(
+            t,
+            t.nav_child(v, true),
+            l - zl,
+            r - zr,
+            min_count,
+            prefix,
+            f,
+        );
         prefix.truncate(prefix.len() - 1);
     }
     prefix.truncate(save);
@@ -331,10 +339,9 @@ impl<'a, T: TrieNav> Iterator for RangeIter<'a, T> {
             out.push(b);
             let child = t.nav_child(v, b);
             let ck = t.nav_key(child);
-            self.cursors.entry(ck).or_insert_with(|| {
-                
-                t.nav_bv_rank(v, b, c)
-            });
+            self.cursors
+                .entry(ck)
+                .or_insert_with(|| t.nav_bv_rank(v, b, c));
             v = child;
         }
     }

@@ -531,7 +531,8 @@ mod tests {
         assert!(sp.distinct <= 50);
         assert!(sp.total_bits > 0);
         assert!(sp.lb_bits > 0.0);
-        assert!(sp.hn_bits >= sp.n); // at least one bit per string per level
+        // at least one bit per string per level
+        assert!(sp.hn_bits >= sp.n);
         // total should be in the same ballpark as LB (within a small factor)
         assert!(
             (sp.total_bits as f64) < 8.0 * sp.lb_bits + 4096.0,

@@ -70,9 +70,7 @@ impl SequenceStats {
         let lt_bits = if distinct <= 1 {
             l_bits as f64
         } else {
-            l_bits as f64
-                + e as f64
-                + wt_bits::entropy::binomial_bound_bits(l_bits + e, e)
+            l_bits as f64 + e as f64 + wt_bits::entropy::binomial_bound_bits(l_bits + e, e)
         };
         let total_input_bits = seq.iter().map(|s| s.len()).sum();
         Some(SequenceStats {

@@ -52,12 +52,14 @@ macro_rules! string_facade_queries {
 
         /// `Rank(s, pos)`: occurrences of `s` before `pos`.
         pub fn rank(&self, s: impl AsRef<[u8]>, pos: usize) -> usize {
-            self.inner.rank(self.coder.encode(s.as_ref()).as_bitstr(), pos)
+            self.inner
+                .rank(self.coder.encode(s.as_ref()).as_bitstr(), pos)
         }
 
         /// `Select(s, idx)`.
         pub fn select(&self, s: impl AsRef<[u8]>, idx: usize) -> Option<usize> {
-            self.inner.select(self.coder.encode(s.as_ref()).as_bitstr(), idx)
+            self.inner
+                .select(self.coder.encode(s.as_ref()).as_bitstr(), idx)
         }
 
         /// `RankPrefix(p, pos)`: strings with byte-prefix `p` before `pos`.
@@ -117,7 +119,11 @@ macro_rules! string_facade_queries {
             r: usize,
         ) -> Vec<(String, usize)> {
             self.inner
-                .distinct_in_range_with_prefix(self.coder.encode_prefix(p.as_ref()).as_bitstr(), l, r)
+                .distinct_in_range_with_prefix(
+                    self.coder.encode_prefix(p.as_ref()).as_bitstr(),
+                    l,
+                    r,
+                )
                 .into_iter()
                 .map(|(b, c)| {
                     (

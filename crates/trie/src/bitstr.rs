@@ -64,7 +64,8 @@ impl BitString {
 
     /// Appends all bits of `other`.
     pub fn push_str(&mut self, other: BitStr<'_>) {
-        self.bits.extend_from_range(other.bits, other.start, other.len);
+        self.bits
+            .extend_from_range(other.bits, other.start, other.len);
     }
 
     /// Keeps only the first `len` bits.
@@ -187,7 +188,11 @@ impl<'a> BitStr<'a> {
     /// Bit `i` of the view.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "BitStr index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "BitStr index {i} out of bounds (len {})",
+            self.len
+        );
         unsafe { self.bits.get_unchecked(self.start + i) }
     }
 
@@ -398,10 +403,16 @@ mod tests {
     #[test]
     fn starts_with_works() {
         let s = BitString::parse("110101");
-        assert!(s.as_bitstr().starts_with(&BitString::parse("110").as_bitstr()));
+        assert!(s
+            .as_bitstr()
+            .starts_with(&BitString::parse("110").as_bitstr()));
         assert!(s.as_bitstr().starts_with(&BitString::new().as_bitstr()));
-        assert!(!s.as_bitstr().starts_with(&BitString::parse("111").as_bitstr()));
-        assert!(!s.as_bitstr().starts_with(&BitString::parse("1101011").as_bitstr()));
+        assert!(!s
+            .as_bitstr()
+            .starts_with(&BitString::parse("111").as_bitstr()));
+        assert!(!s
+            .as_bitstr()
+            .starts_with(&BitString::parse("1101011").as_bitstr()));
     }
 
     #[test]

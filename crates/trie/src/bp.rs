@@ -240,7 +240,13 @@ impl BpSupport {
 
     /// Scans `[from, to)` forward; `Ok(j)` when the running excess hits
     /// `target` after consuming `j`, else `Err(final_running)`.
-    fn fwd_scan(&self, from: usize, to: usize, mut running: i64, target: i64) -> Result<usize, i64> {
+    fn fwd_scan(
+        &self,
+        from: usize,
+        to: usize,
+        mut running: i64,
+        target: i64,
+    ) -> Result<usize, i64> {
         let mut i = from;
         // Bitwise to the next byte boundary.
         while i < to && !i.is_multiple_of(8) {
@@ -297,7 +303,8 @@ impl BpSupport {
             if node <= 1 {
                 return None;
             }
-            node -= 1; // left sibling
+            // left sibling
+            node -= 1;
             // Backward reachability: scanning the range right-to-left from
             // running value R reaches R − tot + prefix_k for k = 0..len−1;
             // the minimum is bounded below by R − tot + min(0, min-prefix).
@@ -330,7 +337,13 @@ impl BpSupport {
 
     /// Scans `[from, to)` backward; `Ok(j)` when the running value after
     /// un-consuming bit `j` equals `target`, else `Err(final_running)`.
-    fn bwd_scan(&self, from: usize, to: usize, mut running: i64, target: i64) -> Result<usize, i64> {
+    fn bwd_scan(
+        &self,
+        from: usize,
+        to: usize,
+        mut running: i64,
+        target: i64,
+    ) -> Result<usize, i64> {
         let mut i = to;
         while i > from && !i.is_multiple_of(8) {
             i -= 1;

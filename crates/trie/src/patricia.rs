@@ -344,10 +344,7 @@ impl PatriciaSet {
             match n {
                 PNode::Leaf { label } => node_overhead + label.size_bits(),
                 PNode::Internal { label, children } => {
-                    node_overhead
-                        + label.size_bits()
-                        + rec(&children[0])
-                        + rec(&children[1])
+                    node_overhead + label.size_bits() + rec(&children[0]) + rec(&children[1])
                 }
             }
         }
@@ -478,7 +475,9 @@ mod tests {
         let mut model: BTreeSet<String> = BTreeSet::new();
         for _ in 0..2000 {
             let v = next() % 256;
-            let str8: String = (0..8).map(|i| if (v >> i) & 1 == 1 { '1' } else { '0' }).collect();
+            let str8: String = (0..8)
+                .map(|i| if (v >> i) & 1 == 1 { '1' } else { '0' })
+                .collect();
             let b = bs(&str8);
             match next() % 3 {
                 0 => {

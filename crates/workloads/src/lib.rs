@@ -31,9 +31,15 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(url_log(50, UrlLogConfig::default(), 7), url_log(50, UrlLogConfig::default(), 7));
+        assert_eq!(
+            url_log(50, UrlLogConfig::default(), 7),
+            url_log(50, UrlLogConfig::default(), 7)
+        );
         assert_eq!(word_text(50, 100, 9), word_text(50, 100, 9));
         assert_eq!(clustered_u64(50, 4, 10, 3), clustered_u64(50, 4, 10, 3));
-        assert_ne!(url_log(50, UrlLogConfig::default(), 7), url_log(50, UrlLogConfig::default(), 8));
+        assert_ne!(
+            url_log(50, UrlLogConfig::default(), 7),
+            url_log(50, UrlLogConfig::default(), 8)
+        );
     }
 }

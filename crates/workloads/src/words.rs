@@ -46,6 +46,10 @@ mod tests {
         // spell() must be injective over the vocab range we use
         let text = word_text(50_000, 400, 5);
         let distinct: std::collections::HashSet<&String> = text.iter().collect();
-        assert!(distinct.len() > 100, "vocabulary too collapsed: {}", distinct.len());
+        assert!(
+            distinct.len() > 100,
+            "vocabulary too collapsed: {}",
+            distinct.len()
+        );
     }
 }

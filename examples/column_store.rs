@@ -64,15 +64,25 @@ fn main() {
         let at = orders.len();
         orders.insert_row(at, c, s);
     }
-    println!("loaded {} rows, {} distinct cities", orders.len(), orders.city.distinct_len());
+    println!(
+        "loaded {} rows, {} distinct cities",
+        orders.len(),
+        orders.city.distinct_len()
+    );
 
     // A value the column has never seen arrives mid-table — no rebuild.
     orders.insert_row(3, "Cagliari", "open");
-    println!("inserted unseen city 'Cagliari' at row 3 (alphabet grew to {})",
-        orders.city.distinct_len());
+    println!(
+        "inserted unseen city 'Cagliari' at row 3 (alphabet grew to {})",
+        orders.city.distinct_len()
+    );
 
     // Analytics.
-    println!("rows with city=Pisa in [0, {}): {}", orders.len(), orders.count_city("Pisa", 0, orders.len()));
+    println!(
+        "rows with city=Pisa in [0, {}): {}",
+        orders.len(),
+        orders.count_city("Pisa", 0, orders.len())
+    );
     println!("2nd Pisa order: {:?}", orders.find_kth_in_city("Pisa", 1));
     println!("status of row 3: {}", orders.status.get_string(3));
 
@@ -84,13 +94,18 @@ fn main() {
 
     // Deleting the last Cagliari row shrinks the alphabet again.
     let (c, s) = orders.delete_row(3);
-    println!("deleted row 3 = ({c}, {s}); distinct cities back to {}",
-        orders.city.distinct_len());
+    println!(
+        "deleted row 3 = ({c}, {s}); distinct cities back to {}",
+        orders.city.distinct_len()
+    );
 
     // UPDATE = delete + insert at the same position.
     let (_, _) = orders.delete_row(0);
     orders.insert_row(0, "Pisa", "shipped");
-    println!("after UPDATE row 0: status = {}", orders.status.get_string(0));
+    println!(
+        "after UPDATE row 0: status = {}",
+        orders.status.get_string(0)
+    );
 
     println!(
         "column space: city = {} bytes, status = {} bytes",

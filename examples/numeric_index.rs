@@ -30,8 +30,11 @@ fn main() {
         idx.height(),
         (idx.distinct_len() as f64).log2()
     );
-    println!("space: {} KiB vs {} KiB for a plain Vec<u64>",
-        idx.size_bits() / 8192, n * 64 / 8192);
+    println!(
+        "space: {} KiB vs {} KiB for a plain Vec<u64>",
+        idx.size_bits() / 8192,
+        n * 64 / 8192
+    );
 
     // Point queries.
     let x = values[12345];

@@ -13,23 +13,38 @@ fn main() {
 
     // --- Static: build once, query forever -------------------------------
     let wt = WaveletTrie::build(&seq).expect("prefix-free set");
-    println!("n = {}, |Sset| = {}, height = {}", wt.len(), wt.distinct_len(), wt.height());
+    println!(
+        "n = {}, |Sset| = {}, height = {}",
+        wt.len(),
+        wt.distinct_len(),
+        wt.height()
+    );
     println!("Access(3)  = {}", wt.access(3));
     let s = BitString::parse("0100");
     println!("Rank(0100, 7)   = {}", wt.rank(s.as_bitstr(), 7));
     println!("Select(0100, 2) = {:?}", wt.select(s.as_bitstr(), 2));
     let p = BitString::parse("00");
-    println!("RankPrefix(00, 7)    = {}", wt.rank_prefix(p.as_bitstr(), 7));
-    println!("SelectPrefix(00, 3)  = {:?}", wt.select_prefix(p.as_bitstr(), 3));
+    println!(
+        "RankPrefix(00, 7)    = {}",
+        wt.rank_prefix(p.as_bitstr(), 7)
+    );
+    println!(
+        "SelectPrefix(00, 3)  = {:?}",
+        wt.select_prefix(p.as_bitstr(), 3)
+    );
 
     // Range analytics (§5).
-    println!("distinct in [2,6): {:?}",
+    println!(
+        "distinct in [2,6): {:?}",
         wt.distinct_in_range(2, 6)
             .iter()
             .map(|(s, c)| (s.to_string(), *c))
-            .collect::<Vec<_>>());
-    println!("majority of [2,7): {:?}",
-        wt.range_majority(2, 7).map(|(s, c)| (s.to_string(), c)));
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "majority of [2,7): {:?}",
+        wt.range_majority(2, 7).map(|(s, c)| (s.to_string(), c))
+    );
 
     // Space vs. the information-theoretic lower bound (Theorem 3.7).
     let sp = wt.space_breakdown();
@@ -44,7 +59,9 @@ fn main() {
         dyn_wt.append(s.as_bitstr()).expect("prefix-free");
     }
     // A brand-new string can arrive at any moment (dynamic alphabet!):
-    dyn_wt.insert(BitString::parse("0101").as_bitstr(), 3).unwrap();
+    dyn_wt
+        .insert(BitString::parse("0101").as_bitstr(), 3)
+        .unwrap();
     println!("after insert: Access(3) = {}", dyn_wt.access(3));
     let removed = dyn_wt.delete(3);
     println!("deleted back: {removed}");

@@ -35,7 +35,11 @@ fn main() {
 
     // Activity of u042 per era (time windows = position ranges).
     println!("\nout-edge events of u{vertex:03} per era:");
-    for (name, l, r) in [("early", 0, n / 3), ("middle", n / 3, 2 * n / 3), ("late", 2 * n / 3, n)] {
+    for (name, l, r) in [
+        ("early", 0, n / 3),
+        ("middle", n / 3, 2 * n / 3),
+        ("late", 2 * n / 3, n),
+    ] {
         println!("  {name:>6}: {}", log.range_count_prefix(&p, l, r));
     }
 

@@ -50,7 +50,7 @@ fn main() {
     // Top URLs above a threshold (range top-t heuristic, §5).
     let t = (to - from) / 50;
     let mut top = log.range_frequent(from, to, t);
-    top.sort_by(|a, b| b.1.cmp(&a.1));
+    top.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     println!("  URLs with ≥{t} hits:");
     for (url, c) in top.iter().take(5) {
         println!("    {c:>6}  {url}");
@@ -61,7 +61,7 @@ fn main() {
     // distinct hostnames in a given time range").
     let hostname_len = "http://host000.example".len();
     let mut hosts = log.distinct_byte_prefixes_in_range(from, to, hostname_len);
-    hosts.sort_by(|a, b| b.1.cmp(&a.1));
+    hosts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     println!("  {} distinct hostnames in the window; top 3:", hosts.len());
     for (h, c) in hosts.iter().take(3) {
         println!("    {c:>6}  {h}");
@@ -83,6 +83,9 @@ fn main() {
     let probe = &entries[from + 7];
     println!("\npoint queries on {probe:?}:");
     println!("  total occurrences: {}", log.count(probe));
-    println!("  occurrences before position {from}: {}", log.rank(probe, from));
+    println!(
+        "  occurrences before position {from}: {}",
+        log.rank(probe, from)
+    );
     println!("  5th occurrence at position {:?}", log.select(probe, 4));
 }

@@ -67,16 +67,40 @@ fn check_equivalence(data: &[String]) {
     for p in &prefixes {
         for pos in [0, n / 2, n] {
             let want = naive.rank_prefix(p, pos);
-            assert_eq!(stat.rank_prefix(p, pos), want, "static rank_prefix({p},{pos})");
-            assert_eq!(app.rank_prefix(p, pos), want, "append rank_prefix({p},{pos})");
-            assert_eq!(dy.rank_prefix(p, pos), want, "dynamic rank_prefix({p},{pos})");
+            assert_eq!(
+                stat.rank_prefix(p, pos),
+                want,
+                "static rank_prefix({p},{pos})"
+            );
+            assert_eq!(
+                app.rank_prefix(p, pos),
+                want,
+                "append rank_prefix({p},{pos})"
+            );
+            assert_eq!(
+                dy.rank_prefix(p, pos),
+                want,
+                "dynamic rank_prefix({p},{pos})"
+            );
         }
         let total = naive.rank_prefix(p, n);
         for k in (0..total).step_by((total / 8).max(1)) {
             let want = naive.select_prefix(p, k);
-            assert_eq!(stat.select_prefix(p, k), want, "static select_prefix({p},{k})");
-            assert_eq!(app.select_prefix(p, k), want, "append select_prefix({p},{k})");
-            assert_eq!(dy.select_prefix(p, k), want, "dynamic select_prefix({p},{k})");
+            assert_eq!(
+                stat.select_prefix(p, k),
+                want,
+                "static select_prefix({p},{k})"
+            );
+            assert_eq!(
+                app.select_prefix(p, k),
+                want,
+                "append select_prefix({p},{k})"
+            );
+            assert_eq!(
+                dy.select_prefix(p, k),
+                want,
+                "dynamic select_prefix({p},{k})"
+            );
         }
     }
 
@@ -89,9 +113,21 @@ fn check_equivalence(data: &[String]) {
             .collect();
         // the trie enumerates in encoded order, which for NinthBitCoder is
         // byte-lexicographic — same as the BTreeMap order of the naive.
-        assert_eq!(stat.distinct_in_range(l, r), want, "static distinct [{l},{r})");
-        assert_eq!(app.distinct_in_range(l, r), want, "append distinct [{l},{r})");
-        assert_eq!(dy.distinct_in_range(l, r), want, "dynamic distinct [{l},{r})");
+        assert_eq!(
+            stat.distinct_in_range(l, r),
+            want,
+            "static distinct [{l},{r})"
+        );
+        assert_eq!(
+            app.distinct_in_range(l, r),
+            want,
+            "append distinct [{l},{r})"
+        );
+        assert_eq!(
+            dy.distinct_in_range(l, r),
+            want,
+            "dynamic distinct [{l},{r})"
+        );
 
         let want_maj = naive
             .range_majority(l, r)

@@ -1,0 +1,57 @@
+//! Smoke test: every program under `examples/` must run to completion and
+//! print something. These are the README-facing code paths; without this
+//! gate they could silently rot.
+//!
+//! Runs `cargo run --example <name>` as a subprocess — `cargo test` has
+//! already built the examples, so each invocation only executes them.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "column_store",
+    "numeric_index",
+    "social_graph",
+    "url_log_analytics",
+];
+
+#[test]
+fn every_example_runs_and_prints() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for name in EXAMPLES {
+        let out = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} exited with {:?}\nstderr:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example {name} printed nothing on stdout"
+        );
+    }
+}
+
+#[test]
+fn example_list_is_exhaustive() {
+    // Catch newly added examples that are missing from the smoke list.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "rs").then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(on_disk, listed, "examples/ and EXAMPLES diverge");
+}

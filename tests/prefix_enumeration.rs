@@ -30,7 +30,10 @@ fn bit_level_prefixes_figure2() {
         .iter()
         .map(|(s, c)| (s.to_string(), *c))
         .collect();
-    assert_eq!(got, vec![("000".into(), 1), ("001".into(), 3), ("010".into(), 3)]);
+    assert_eq!(
+        got,
+        vec![("000".into(), 1), ("001".into(), 3), ("010".into(), 3)]
+    );
     // depth beyond all strings = full distinct enumeration
     let deep = wt.distinct_prefixes_in_range(0, 7, 64);
     let full = wt.distinct_in_range(0, 7);

@@ -6,8 +6,8 @@ use wavelet_trie::binarize::{Coder, NinthBitCoder};
 use wavelet_trie::{
     AppendWaveletTrie, BitString, DynamicWaveletTrie, SequenceOps, SequenceStats, WaveletTrie,
 };
-use wt_bits::SpaceUsage;
 use wt_baselines::BTreeIndex;
+use wt_bits::SpaceUsage;
 use wt_workloads::{url_log, word_text, UrlLogConfig};
 
 fn encode_all(data: &[String]) -> Vec<BitString> {
@@ -37,7 +37,10 @@ fn lemma_3_5_avg_height_bounds() {
             stats.avg_input_bits()
         );
         // h̃n = Σ|β| exactly (§3).
-        assert_eq!(wt.total_bitvector_bits(), (h * seq.len() as f64).round() as usize);
+        assert_eq!(
+            wt.total_bitvector_bits(),
+            (h * seq.len() as f64).round() as usize
+        );
     }
 }
 
@@ -56,7 +59,8 @@ fn static_space_close_to_lower_bound() {
         let sp = wt.space_breakdown();
         let input_bits: usize = data.iter().map(|s| s.len() * 8).sum();
         assert!(
-            (sp.total_bits as f64) < sp.lb_bits + 0.75 * sp.hn_bits as f64 + 64.0 * sp.distinct as f64 + 8192.0,
+            (sp.total_bits as f64)
+                < sp.lb_bits + 0.75 * sp.hn_bits as f64 + 64.0 * sp.distinct as f64 + 8192.0,
             "{name}: total {} vs LB {} + redundancy budget (h̃n = {})",
             sp.total_bits,
             sp.lb_bits,
@@ -166,5 +170,9 @@ fn delete_releases_space() {
         wt.delete(0);
     }
     assert!(wt.is_empty());
-    assert!(wt.size_bits() < 1024, "empty trie must be tiny: {}", wt.size_bits());
+    assert!(
+        wt.size_bits() < 1024,
+        "empty trie must be tiny: {}",
+        wt.size_bits()
+    );
 }

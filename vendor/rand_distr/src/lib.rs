@@ -1,0 +1,91 @@
+//! Offline shim for the subset of `rand_distr` this workspace uses:
+//! the [`Distribution`] trait and the [`Geometric`] distribution.
+
+use rand::{RngCore, RngExt};
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error produced by invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError;
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Geometric distribution: number of failures before the first success of
+/// a Bernoulli(`p`) trial; support `{0, 1, 2, …}`.
+#[derive(Clone, Copy, Debug)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if p.is_finite() && (0.0..=1.0).contains(&p) && p > 0.0 {
+            Ok(Geometric { p })
+        } else {
+            Err(ParamError)
+        }
+    }
+}
+
+impl Distribution<u64> for Geometric {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inverse-CDF transform: floor(ln(1-u) / ln(1-p)).
+        let u: f64 = rng.random();
+        let k = ((1.0 - u).ln() / (1.0 - self.p).ln()).floor();
+        if k.is_finite() && k >= 0.0 {
+            k as u64
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(-0.1).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(f64::NAN).is_err());
+        assert!(Geometric::new(0.3).is_ok());
+        assert!(Geometric::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn mean_matches_theory() {
+        // E[X] = (1-p)/p; p = 0.4 → 1.5.
+        let g = Geometric::new(0.4).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| g.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn p_one_is_always_zero() {
+        let g = Geometric::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+}
