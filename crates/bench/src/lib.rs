@@ -11,6 +11,7 @@
 //! | `range_report` | E7 | §5 range algorithms vs naive scans |
 //! | `balance_report` | E8 | §6 height bound `(α+2)·log|Σ|` |
 //! | `alphabet_report` | E9 | dynamic alphabet vs rebuild/two-copy baselines |
+//! | `dynamic_report` | E11 | §4.2 hot-path throughput → `BENCH_dynamic.json` |
 //! | `figures` | Fig. 1–3 | structural reproduction, ASCII-rendered |
 //!
 //! Criterion micro-benchmarks covering the same operations live under

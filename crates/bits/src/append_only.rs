@@ -14,7 +14,7 @@
 //! block is ready, giving O(1) worst-case `Append`. The amortized mode seals
 //! eagerly (O(1) amortized, occasional O(L) hiccup), matching Lemma 4.7.
 
-use crate::broadword::select_in_word;
+use crate::broadword::{select_bit_in_word, select_block};
 use crate::rrr::{RrrBuilder, RrrVector, RRR_BLOCK_BITS};
 use crate::{BitAccess, BitRank, BitSelect, RawBitVec, SpaceUsage};
 
@@ -113,26 +113,10 @@ impl SmallTail {
                 (w * 64).min(self.len()) - r1
             }
         };
-        let (mut lo, mut hi) = (0usize, self.len() / 64 + 1);
-        while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
-            if count_before(mid) <= k {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        let mut word = self.bits.word(lo);
-        if !bit {
-            word = !word;
-            let base = lo * 64;
-            let valid = self.len() - base;
-            if valid < 64 {
-                word &= (1u64 << valid) - 1;
-            }
-        }
+        let lo = select_block(0, self.len() / 64 + 1, k, count_before);
+        let valid = self.len() - lo * 64;
         let rem = (k - count_before(lo)) as u32;
-        Some(lo * 64 + select_in_word(word, rem) as usize)
+        Some(lo * 64 + select_bit_in_word(self.bits.word(lo), bit, valid, rem) as usize)
     }
 
     fn size_bits(&self) -> usize {
@@ -322,15 +306,7 @@ impl AppendBitVec {
             }
         };
         // Binary search sealed blocks.
-        let (mut lo, mut hi) = (0usize, self.sealed.len() + 1);
-        while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
-            if count_before(mid) <= k {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
+        let lo = select_block(0, self.sealed.len() + 1, k, count_before);
         if lo < self.sealed.len() && count_before(lo + 1) > k {
             let rem = k - count_before(lo);
             let p = self.sealed[lo]

@@ -55,6 +55,54 @@ pub fn select_zero_in_word(x: u64, k: u32) -> u32 {
     select_in_word(!x, k)
 }
 
+/// Largest index `b` in `[lo, hi)` with `count_before(b) <= k`, for a
+/// non-decreasing count function — the block-locating binary search every
+/// sampled select implementation shares ([`crate::Fid`], the append-only
+/// bitvector's sealed-block directory, small explicit tails).
+#[inline]
+pub fn select_block<F: Fn(usize) -> usize>(
+    mut lo: usize,
+    mut hi: usize,
+    k: usize,
+    count_before: F,
+) -> usize {
+    debug_assert!(lo < hi);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if count_before(mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Restricts `word` to its low `valid` bits, complementing first when
+/// selecting zeros so padding past the end is never counted.
+#[inline]
+fn candidate_bits(word: u64, bit: bool, valid: usize) -> u64 {
+    let w = if bit { word } else { !word };
+    if valid >= 64 {
+        w
+    } else {
+        w & ((1u64 << valid) - 1)
+    }
+}
+
+/// Number of `bit`-valued entries among the low `valid` bits of `word`.
+#[inline]
+pub fn count_bit_in_word(word: u64, bit: bool, valid: usize) -> u32 {
+    candidate_bits(word, bit, valid).count_ones()
+}
+
+/// Position of the `k`-th `bit`-valued entry among the low `valid` bits of
+/// `word` — the in-word finishing step after a block search.
+#[inline]
+pub fn select_bit_in_word(word: u64, bit: bool, valid: usize, k: u32) -> u32 {
+    select_in_word(candidate_bits(word, bit, valid), k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +166,34 @@ mod tests {
         for k in 0..32 {
             assert_eq!(select_zero_in_word(x, k), naive_select(!x, k).unwrap());
         }
+    }
+
+    #[test]
+    fn select_block_finds_last_block_not_past_k() {
+        // Blocks of counts [0, 3, 3, 7, 10] (cumulative before each index).
+        let cum = [0usize, 3, 3, 7, 10];
+        let count_before = |i: usize| cum[i];
+        for k in 0..10 {
+            let b = select_block(0, cum.len(), k, count_before);
+            assert!(cum[b] <= k, "k={k} b={b}");
+            assert!(b + 1 == cum.len() || cum[b + 1] > k, "k={k} b={b}");
+        }
+        // A narrowed window behaves identically.
+        assert_eq!(select_block(1, 4, 5, count_before), 2);
+    }
+
+    #[test]
+    fn masked_word_select_ignores_padding() {
+        // 10 valid bits, the rest of the word is garbage padding.
+        let word = 0xFFFF_FFFF_FFFF_FC05u64; // valid low 10: 0000000101
+        assert_eq!(count_bit_in_word(word, true, 10), 2);
+        assert_eq!(count_bit_in_word(word, false, 10), 8);
+        assert_eq!(select_bit_in_word(word, true, 10, 0), 0);
+        assert_eq!(select_bit_in_word(word, true, 10, 1), 2);
+        assert_eq!(select_bit_in_word(word, false, 10, 0), 1);
+        assert_eq!(select_bit_in_word(word, false, 10, 7), 9);
+        // valid = 64 is the unmasked case.
+        assert_eq!(count_bit_in_word(u64::MAX, true, 64), 64);
+        assert_eq!(count_bit_in_word(u64::MAX, false, 64), 0);
     }
 }

@@ -51,9 +51,17 @@ pub fn delta_encode(out: &mut RawBitVec, x: u64) {
 }
 
 /// A cursor for sequentially decoding codes out of a [`RawBitVec`].
+///
+/// All reads go through a 64-bit lookahead word ([`Self::peek_word`])
+/// assembled straight from the backing words, so a unary prefix is decoded
+/// with one `trailing_zeros` instead of a bit-at-a-time loop and a whole
+/// γ code usually costs a single peek. The same word-level discipline pays
+/// off wherever variable-length codes are scanned (γ/δ runs here, and the
+/// RRR-offset / Elias–Fano style "count to the next 1" loops).
 #[derive(Clone, Copy, Debug)]
 pub struct BitReader<'a> {
-    bits: &'a RawBitVec,
+    words: &'a [u64],
+    len: usize,
     pos: usize,
 }
 
@@ -61,7 +69,12 @@ impl<'a> BitReader<'a> {
     /// Starts reading at bit `pos`.
     #[inline]
     pub fn new(bits: &'a RawBitVec, pos: usize) -> Self {
-        Self { bits, pos }
+        debug_assert!(pos <= bits.len());
+        Self {
+            words: bits.words(),
+            len: bits.len(),
+            pos,
+        }
     }
 
     /// Current bit position.
@@ -73,13 +86,33 @@ impl<'a> BitReader<'a> {
     /// Whether the cursor reached the end.
     #[inline]
     pub fn is_at_end(&self) -> bool {
-        self.pos >= self.bits.len()
+        self.pos >= self.len
+    }
+
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
+    /// The next 64 bits starting at the cursor, LSB-first, zero-padded past
+    /// the end of the stream (the tail word is kept masked by `RawBitVec`).
+    #[inline]
+    fn peek_word(&self) -> u64 {
+        let w = self.pos / 64;
+        let off = self.pos % 64;
+        let lo = self.word(w) >> off;
+        if off == 0 {
+            lo
+        } else {
+            lo | (self.word(w + 1) << (64 - off))
+        }
     }
 
     /// Reads one bit.
     #[inline]
     pub fn read_bit(&mut self) -> bool {
-        let b = self.bits.get(self.pos);
+        assert!(self.pos < self.len, "BitReader read past end");
+        let b = (self.word(self.pos / 64) >> (self.pos % 64)) & 1 != 0;
         self.pos += 1;
         b
     }
@@ -87,24 +120,54 @@ impl<'a> BitReader<'a> {
     /// Reads `width <= 64` bits LSB-first.
     #[inline]
     pub fn read_bits(&mut self, width: usize) -> u64 {
-        let v = self.bits.get_bits(self.pos, width);
+        debug_assert!(width <= 64);
+        assert!(self.pos + width <= self.len, "BitReader read past end");
+        let v = if width == 64 {
+            self.peek_word()
+        } else {
+            self.peek_word() & ((1u64 << width) - 1)
+        };
         self.pos += width;
         v
     }
 
     /// Counts zeros up to (not including) the next 1, consuming it too.
+    ///
+    /// Word-at-a-time: each iteration consumes up to 64 zeros with one
+    /// `trailing_zeros` on the lookahead word.
     #[inline]
     pub fn read_unary(&mut self) -> usize {
-        let mut n = 0;
-        while !self.read_bit() {
-            n += 1;
+        let mut n = 0usize;
+        loop {
+            let w = self.peek_word();
+            if w != 0 {
+                let tz = w.trailing_zeros() as usize;
+                self.pos += tz + 1;
+                debug_assert!(self.pos <= self.len);
+                return n + tz;
+            }
+            let step = (self.len - self.pos).min(64);
+            assert!(step > 0, "BitReader: unary code runs past end");
+            n += step;
+            self.pos += step;
         }
-        n
     }
 
     /// Decodes one γ code.
     #[inline]
     pub fn read_gamma(&mut self) -> u64 {
+        // Fast path: the whole code (N zeros, marker 1, N low bits) sits in
+        // the 64-bit lookahead, true for any value below 2^32.
+        let w = self.peek_word();
+        if w != 0 {
+            let n = w.trailing_zeros() as usize;
+            if 2 * n < 64 {
+                self.pos += 2 * n + 1;
+                debug_assert!(self.pos <= self.len);
+                let low = (w >> (n + 1)) & ((1u64 << n) - 1);
+                return (1u64 << n) | low;
+            }
+        }
         let n = self.read_unary();
         let low = if n > 0 { self.read_bits(n) } else { 0 };
         (1u64 << n) | low

@@ -6,7 +6,7 @@
 //! This is the *uncompressed* FID; the compressed counterpart is
 //! [`crate::RrrVector`] (§2 of the paper, "Bitvectors and FIDs").
 
-use crate::broadword::select_in_word;
+use crate::broadword::{count_bit_in_word, select_bit_in_word, select_block};
 use crate::{RawBitVec, SpaceUsage};
 
 /// Bits covered by one rank superblock (8 words).
@@ -180,8 +180,8 @@ impl Fid {
         }
         let hints = if bit { &self.hints1 } else { &self.hints0 };
         let hi = k / SELECT_SAMPLE;
-        let mut lo_block = hints[hi] as usize;
-        let mut hi_block = hints
+        let lo_block = hints[hi] as usize;
+        let hi_block = hints
             .get(hi + 1)
             .map(|&b| b as usize + 1)
             .unwrap_or(self.block_rank.len() - 1);
@@ -193,36 +193,17 @@ impl Fid {
                 self.zeros_before_block(blk)
             }
         };
-        while lo_block + 1 < hi_block {
-            let mid = (lo_block + hi_block) / 2;
-            if count_before(mid) <= k {
-                lo_block = mid;
-            } else {
-                hi_block = mid;
-            }
-        }
-        let block = lo_block;
+        let block = select_block(lo_block, hi_block, k, count_before);
         let mut remaining = (k - count_before(block)) as u32;
         // Scan the (at most 8) words of the block.
         for w in 0..WORDS_PER_BLOCK {
             let word_idx = block * WORDS_PER_BLOCK + w;
-            let mut word = self.bits.word(word_idx);
-            if !bit {
-                word = !word;
-                // Mask out padding beyond len for the final partial word.
-                let base = word_idx * 64;
-                if base + 64 > self.bits.len() {
-                    let valid = self.bits.len() - base;
-                    if valid == 0 {
-                        word = 0;
-                    } else {
-                        word &= (1u64 << valid) - 1;
-                    }
-                }
-            }
-            let c = word.count_ones();
+            let word = self.bits.word(word_idx);
+            // Padding past len must not count as zeros in the final word.
+            let valid = self.bits.len().saturating_sub(word_idx * 64).min(64);
+            let c = count_bit_in_word(word, bit, valid);
             if remaining < c {
-                let pos = word_idx * 64 + select_in_word(word, remaining) as usize;
+                let pos = word_idx * 64 + select_bit_in_word(word, bit, valid, remaining) as usize;
                 debug_assert!(pos < self.bits.len());
                 return Some(pos);
             }

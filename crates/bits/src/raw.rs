@@ -215,6 +215,12 @@ impl RawBitVec {
         Self::mask_tail(&mut self.words, len);
     }
 
+    /// Drops excess word capacity (used when sealing/flushing an encoding
+    /// so long-lived vectors carry no growth slack).
+    pub fn shrink_to_fit(&mut self) {
+        self.words.shrink_to_fit();
+    }
+
     /// Removes all bits.
     pub fn clear(&mut self) {
         self.words.clear();
