@@ -6,22 +6,12 @@
 //!   O(log n); `Init(b, n)` constant-time/-space regardless of `n`, the
 //!   property that rules out gap-encoded and plain bitvectors.
 
-use wt_bench::{fmt_ns, time_per_op_ns, Table};
+use wt_bench::{fmt_ns, time_per_op_ns, xorshift, Table};
 use wt_bits::entropy::bitvec_h0_bits;
 use wt_bits::{
     AppendBitVec, BitAccess, BitRank, BitSelect, DynamicBitVec, Fid, RawBitVec, RrrVector,
     SpaceUsage,
 };
-
-fn xorshift(seed: u64) -> impl FnMut() -> u64 {
-    let mut s = seed.max(1);
-    move || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        s
-    }
-}
 
 fn main() {
     // ---------- E5: append-only bitvector ---------------------------------

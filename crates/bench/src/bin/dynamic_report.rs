@@ -14,19 +14,9 @@
 //! Usage: `dynamic_report [--quick] [--out PATH]`
 
 use wavelet_trie::DynamicStrings;
-use wt_bench::{fmt_ns, time_per_op_ns, Table};
+use wt_bench::{fmt_ns, time_per_op_ns, xorshift, Table};
 use wt_bits::{BitAccess, BitRank, BitSelect, DynamicBitVec, SpaceUsage};
 use wt_workloads::words::word_text;
-
-fn xorshift(seed: u64) -> impl FnMut() -> u64 {
-    let mut s = seed.max(1);
-    move || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        s
-    }
-}
 
 /// One measured series: ns/op for `op` on `structure` under `dist` at size `n`.
 struct Measurement {

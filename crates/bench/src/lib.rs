@@ -12,12 +12,25 @@
 //! | `balance_report` | E8 | §6 height bound `(α+2)·log|Σ|` |
 //! | `alphabet_report` | E9 | dynamic alphabet vs rebuild/two-copy baselines |
 //! | `dynamic_report` | E11 | §4.2 hot-path throughput → `BENCH_dynamic.json` |
+//! | `static_report` | E12 | §2/§3 static-stack throughput → `BENCH_static.json` |
 //! | `figures` | Fig. 1–3 | structural reproduction, ASCII-rendered |
 //!
 //! Criterion micro-benchmarks covering the same operations live under
 //! `benches/`.
 
 use std::time::Instant;
+
+/// Seeded xorshift64 closure — the dependency-free PRNG every report binary
+/// uses for reproducible workloads and probe sequences.
+pub fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
 
 /// Median-of-runs wall time per operation, in nanoseconds.
 ///

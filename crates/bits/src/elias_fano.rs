@@ -95,6 +95,15 @@ impl EliasFano {
         self.n == 0
     }
 
+    #[inline]
+    fn low_of(&self, i: usize) -> u64 {
+        if self.low_width == 0 {
+            0
+        } else {
+            self.low.get_bits(i * self.low_width, self.low_width)
+        }
+    }
+
     /// The `i`-th value.
     ///
     /// # Panics
@@ -110,7 +119,54 @@ impl EliasFano {
         if self.low_width == 0 {
             hi
         } else {
-            (hi << self.low_width) | self.low.get_bits(i * self.low_width, self.low_width)
+            (hi << self.low_width) | self.low_of(i)
+        }
+    }
+
+    /// The `i`-th and `(i+1)`-th values with a single directory probe: the
+    /// second select resolves by scanning the upper bitvector for the next
+    /// set bit (the average gap is < 2 bits). The scan is capped at four
+    /// words so a pathologically skewed distribution (one huge gap in the
+    /// upper bits) degrades to the plain second select, never to a linear
+    /// walk. This is the segment-bounds access pattern of the static
+    /// Wavelet Trie, where every node visit needs a `[start, end)` pair
+    /// from each delimiter structure.
+    ///
+    /// # Panics
+    /// If `i + 1 >= len()`.
+    pub fn get_pair(&self, i: usize) -> (u64, u64) {
+        assert!(
+            i + 1 < self.n,
+            "EliasFano pair index {i} out of bounds (len {})",
+            self.n
+        );
+        let p = self.high.select1(i).expect("directory");
+        let words = self.high.raw().words();
+        let mut w = (p + 1) / 64;
+        let mut cur = words[w] & (!0u64 << ((p + 1) % 64));
+        let mut budget = 4;
+        let q = loop {
+            if cur != 0 {
+                break w * 64 + cur.trailing_zeros() as usize;
+            }
+            w += 1;
+            budget -= 1;
+            match words.get(w) {
+                Some(&next) if budget > 0 => cur = next,
+                // Gap too large (or padding exhausted): fall back to the
+                // directory — the (i+1)-th one exists because i + 1 < n.
+                _ => break self.high.select1(i + 1).expect("directory"),
+            }
+        };
+        let hi0 = (p - i) as u64;
+        let hi1 = (q - i - 1) as u64;
+        if self.low_width == 0 {
+            (hi0, hi1)
+        } else {
+            (
+                (hi0 << self.low_width) | self.low_of(i),
+                (hi1 << self.low_width) | self.low_of(i + 1),
+            )
         }
     }
 
@@ -134,14 +190,23 @@ impl EliasFano {
             None => self.n,
         };
         let xl = x & (((1u64 << self.low_width) - 1) * (self.low_width != 0) as u64);
+        // Low bits are sorted within a bucket: binary-search large buckets,
+        // scan small ones.
+        if end - start > 8 {
+            let (mut lo, mut hi) = (start, end);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self.low_of(mid) <= xl {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            return lo;
+        }
         let mut cnt = start;
         for i in start..end {
-            let lo = if self.low_width == 0 {
-                0
-            } else {
-                self.low.get_bits(i * self.low_width, self.low_width)
-            };
-            if lo <= xl {
+            if self.low_of(i) <= xl {
                 cnt = i + 1;
             } else {
                 break;

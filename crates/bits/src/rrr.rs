@@ -9,10 +9,12 @@
 //! superblock walk (a bounded constant amount of work).
 //!
 //! Space is `B(m, n) + o(n)` bits as in the paper; operations are O(1) for
-//! access/rank and O(log (n/superblock)) for select (binary search over
-//! superblock ranks — see DESIGN.md substitution #1).
+//! access/rank/select: superblock walks read all sixteen 6-bit classes with
+//! two word loads and decode only the portion of the target block a query
+//! needs, and select starts from a sampled hint directory instead of a
+//! global binary search (DESIGN.md substitutions #1/#9).
 
-use crate::broadword::select_in_word;
+use crate::broadword::select_block;
 use crate::{BitAccess, BitRank, BitSelect, RawBitVec, SpaceUsage};
 
 /// Bits per RRR block; 63 so class+offset arithmetic fits in `u64`.
@@ -21,6 +23,11 @@ pub const RRR_BLOCK_BITS: usize = 63;
 /// trades directory space (64+64 bits per superblock) for query constants.
 const SB_BLOCKS: usize = 16;
 const CLASS_BITS: usize = 6;
+/// One select hint (a superblock index) per this many ones/zeros:
+/// 32 bits of directory per 4096 target bits keeps the overhead below
+/// 0.01 bits/bit while bounding the select search window to the few
+/// superblocks a sample interval spans.
+const SELECT_SAMPLE: usize = 4096;
 
 /// Pascal's triangle up to n = 63; `C(63, 31)` fits comfortably in `u64`.
 const fn binomial_table() -> [[u64; 64]; 64] {
@@ -96,6 +103,16 @@ fn block_unrank_offset(mut off: u64, c: u32) -> u64 {
     word
 }
 
+/// One superblock directory entry: absolute rank and absolute offset-stream
+/// bit pointer, packed together so a block locate touches one cache line.
+#[derive(Clone, Copy, Debug)]
+struct SbEntry {
+    /// Ones before this superblock.
+    rank: u64,
+    /// Bit index into `offsets` at this superblock's start.
+    ptr: u64,
+}
+
 /// An immutable entropy-compressed bitvector with constant-time access/rank.
 #[derive(Clone, Debug)]
 pub struct RrrVector {
@@ -105,10 +122,12 @@ pub struct RrrVector {
     classes: RawBitVec,
     /// Variable-width combinatorial offsets, one per block.
     offsets: RawBitVec,
-    /// Absolute rank before each superblock (+ final total).
-    sb_rank: Vec<u64>,
-    /// Absolute bit index into `offsets` for each superblock start.
-    sb_ptr: Vec<u64>,
+    /// Superblock directory (+ final sentinel).
+    sb: Vec<SbEntry>,
+    /// Superblock containing the `(k·SELECT_SAMPLE)`-th one.
+    hints1: Vec<u32>,
+    /// Superblock containing the `(k·SELECT_SAMPLE)`-th zero.
+    hints0: Vec<u32>,
 }
 
 impl RrrVector {
@@ -129,15 +148,24 @@ impl RrrVector {
         Self::new(&RawBitVec::from_bits(iter))
     }
 
+    /// The first `count` classes of superblock `sb`, packed LSB-first
+    /// 6 bits each (at most `16 × 6 = 96` bits). One word-level load when
+    /// `count ≤ 10`, two otherwise.
     #[inline]
-    fn class_of(&self, block: usize) -> u32 {
-        self.classes.get_bits(block * CLASS_BITS, CLASS_BITS) as u32
+    fn sb_classes(&self, sb: usize, count: usize) -> u128 {
+        let start = sb * SB_BLOCKS * CLASS_BITS;
+        let avail = (count * CLASS_BITS).min(self.classes.len() - start);
+        let lo = self.classes.get_bits(start, avail.min(64)) as u128;
+        if avail > 64 {
+            lo | (self.classes.get_bits(start + 64, (avail - 64).min(32)) as u128) << 64
+        } else {
+            lo
+        }
     }
 
-    /// Decodes block `block` given the bit pointer of its offset.
+    /// Decodes the block with class `c` whose offset starts at bit `ptr`.
     #[inline]
-    fn decode_block_at(&self, block: usize, ptr: usize) -> u64 {
-        let c = self.class_of(block);
+    fn decode_block_with(&self, c: u32, ptr: usize) -> u64 {
         let w = OFFSET_WIDTH[c as usize] as usize;
         let off = if w == 0 {
             0
@@ -147,18 +175,153 @@ impl RrrVector {
         block_unrank_offset(off, c)
     }
 
-    /// Walks a superblock to find (rank_before_block, offset_ptr) of `block`.
+    /// Walks a superblock's packed classes to find
+    /// `(rank_before_block, offset_ptr, class)` of `block` — a bounded
+    /// ≤ 15-step scan over register-resident classes, no per-block reads.
     #[inline]
-    fn locate_block(&self, block: usize) -> (usize, usize) {
+    fn locate_block(&self, block: usize) -> (usize, usize, u32) {
         let sb = block / SB_BLOCKS;
-        let mut rank = self.sb_rank[sb] as usize;
-        let mut ptr = self.sb_ptr[sb] as usize;
-        for b in sb * SB_BLOCKS..block {
-            let c = self.class_of(b);
-            rank += c as usize;
-            ptr += OFFSET_WIDTH[c as usize] as usize;
+        let entry = self.sb[sb];
+        let mut rank = entry.rank as usize;
+        let mut ptr = entry.ptr as usize;
+        let mut cls = self.sb_classes(sb, block % SB_BLOCKS + 1);
+        for _ in sb * SB_BLOCKS..block {
+            let c = (cls & 63) as usize;
+            cls >>= CLASS_BITS;
+            rank += c;
+            ptr += OFFSET_WIDTH[c] as usize;
         }
-        (rank, ptr)
+        (rank, ptr, (cls & 63) as u32)
+    }
+
+    /// Ones among the low `off` bits of the block with class `c` and offset
+    /// pointer `ptr`: runs the combinatorial decode only over positions
+    /// `>= off` — the ones not yet placed when the walk reaches `off` are
+    /// exactly the ones below it.
+    #[inline]
+    fn block_rank_low(&self, c: u32, ptr: usize, off: usize) -> usize {
+        let w = OFFSET_WIDTH[c as usize] as usize;
+        if w == 0 {
+            // Class 0 (all zeros) or 63 (all valid bits set).
+            return if c == 0 { 0 } else { off };
+        }
+        if c == 1 {
+            return (self.offsets.get_bits(ptr, w) < off as u64) as usize;
+        }
+        let mut offv = self.offsets.get_bits(ptr, w);
+        let mut remaining = c as usize;
+        let mut i = RRR_BLOCK_BITS;
+        while remaining > 0 && i > off {
+            i -= 1;
+            let b = BINOM[i][remaining];
+            if offv >= b {
+                offv -= b;
+                remaining -= 1;
+            }
+        }
+        remaining
+    }
+
+    /// Position of the `k`-th (0-based, from the bottom) `bit`-valued entry
+    /// of the block with class `c`, offset pointer `ptr` and `valid` data
+    /// bits. Runs the combinatorial decode from position `valid` downward
+    /// and stops at the target instead of materialising the whole block.
+    ///
+    /// Requires `k < c` (ones) resp. `k < valid − c` (zeros).
+    #[inline]
+    fn block_select(&self, c: u32, ptr: usize, bit: bool, k: usize, valid: usize) -> usize {
+        let w = OFFSET_WIDTH[c as usize] as usize;
+        if w == 0 {
+            // Uniform block (all zeros / all ones): the k-th target is k.
+            return k;
+        }
+        if c == 1 {
+            // A class-1 offset *is* the position of the block's single one
+            // (`C(p, 1) = p`) — the sparse-block hot path.
+            let p = self.offsets.get_bits(ptr, w) as usize;
+            return if bit {
+                p
+            } else if k < p {
+                k
+            } else {
+                k + 1
+            };
+        }
+        // All ones sit below `valid`, so the offset is < C(valid, c) and
+        // the walk may start there directly.
+        let mut offv = self.offsets.get_bits(ptr, w);
+        let mut remaining = c as usize;
+        let mut i = valid;
+        if bit {
+            // The k-th one from the bottom is the (c − k)-th produced by
+            // the top-down decode.
+            let mut to_produce = c as usize - k;
+            loop {
+                i -= 1;
+                let b = BINOM[i][remaining];
+                if offv >= b {
+                    offv -= b;
+                    remaining -= 1;
+                    to_produce -= 1;
+                    if to_produce == 0 {
+                        return i;
+                    }
+                }
+            }
+        } else {
+            let mut to_produce = valid - c as usize - k;
+            loop {
+                i -= 1;
+                let b = BINOM[i][remaining];
+                if remaining > 0 && offv >= b {
+                    offv -= b;
+                    remaining -= 1;
+                } else {
+                    to_produce -= 1;
+                    if to_produce == 0 {
+                        return i;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fused `get(i)` / `rank1(i)`: one block locate and one partial decode
+    /// answer both — the access hot path of a Wavelet Trie descent, which
+    /// always needs `β[i]` and the rank of that bit together.
+    pub fn get_rank1(&self, i: usize) -> (bool, usize) {
+        assert!(i < self.len);
+        let block = i / RRR_BLOCK_BITS;
+        let (rank, ptr, c) = self.locate_block(block);
+        let pos = i % RRR_BLOCK_BITS;
+        let w = OFFSET_WIDTH[c as usize] as usize;
+        if w == 0 {
+            return if c == 0 {
+                (false, rank)
+            } else {
+                (true, rank + pos)
+            };
+        }
+        let mut offv = self.offsets.get_bits(ptr, w);
+        if c == 1 {
+            let p = offv as usize;
+            return (p == pos, rank + (p < pos) as usize);
+        }
+        let mut remaining = c as usize;
+        let mut i = RRR_BLOCK_BITS;
+        while remaining > 0 && i > pos + 1 {
+            i -= 1;
+            let b = BINOM[i][remaining];
+            if offv >= b {
+                offv -= b;
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 {
+            return (false, rank);
+        }
+        let bit = offv >= BINOM[pos][remaining];
+        (bit, rank + remaining - bit as usize)
     }
 
     fn n_blocks(&self) -> usize {
@@ -167,7 +330,7 @@ impl RrrVector {
 
     #[inline]
     fn zeros_before_sb(&self, sb: usize) -> usize {
-        (sb * SB_BLOCKS * RRR_BLOCK_BITS).min(self.len) - self.sb_rank[sb] as usize
+        (sb * SB_BLOCKS * RRR_BLOCK_BITS).min(self.len) - self.sb[sb].rank as usize
     }
 
     fn select_generic(&self, bit: bool, k: usize) -> Option<usize> {
@@ -175,38 +338,44 @@ impl RrrVector {
         if k >= total {
             return None;
         }
-        // Binary search the superblock containing the k-th target bit.
         let count_before = |sb: usize| {
             if bit {
-                self.sb_rank[sb] as usize
+                self.sb[sb].rank as usize
             } else {
                 self.zeros_before_sb(sb)
             }
         };
-        let (mut lo, mut hi) = (0usize, self.sb_rank.len() - 1);
-        while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
-            if count_before(mid) <= k {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        let sb = lo;
+        // The sampled hints pin the k-th target bit between two known
+        // superblocks; the remaining binary search spans only the few
+        // superblocks one sample interval covers. Small vectors carry no
+        // hints and binary-search their handful of superblocks directly.
+        let hints = if bit { &self.hints1 } else { &self.hints0 };
+        let (lo_sb, hi_sb) = if hints.is_empty() {
+            (0, self.sb.len() - 1)
+        } else {
+            let sample = k / SELECT_SAMPLE;
+            let lo = hints[sample] as usize;
+            let hi = hints
+                .get(sample + 1)
+                .map(|&s| s as usize + 1)
+                .unwrap_or(self.sb.len() - 1);
+            (lo, hi)
+        };
+        let sb = select_block(lo_sb, hi_sb, k, count_before);
         let mut remaining = k - count_before(sb);
-        let mut ptr = self.sb_ptr[sb] as usize;
-        let n_blocks = self.n_blocks();
-        for b in sb * SB_BLOCKS..n_blocks {
-            let c = self.class_of(b) as usize;
+        let mut ptr = self.sb[sb].ptr as usize;
+        let mut cls = self.sb_classes(sb, SB_BLOCKS);
+        // The directory guarantees the hit inside `sb`, so the walk is
+        // bounded to one superblock even when `sb` is the last one.
+        let sb_end = ((sb + 1) * SB_BLOCKS).min(self.n_blocks());
+        for b in sb * SB_BLOCKS..sb_end {
+            let c = (cls & 63) as usize;
+            cls >>= CLASS_BITS;
             let block_start = b * RRR_BLOCK_BITS;
             let valid = RRR_BLOCK_BITS.min(self.len - block_start);
             let in_block = if bit { c } else { valid - c };
             if remaining < in_block {
-                let mut word = self.decode_block_at(b, ptr);
-                if !bit {
-                    word = !word & ((1u64 << valid) - 1);
-                }
-                return Some(block_start + select_in_word(word, remaining as u32) as usize);
+                return Some(block_start + self.block_select(c as u32, ptr, bit, remaining, valid));
             }
             remaining -= in_block;
             ptr += OFFSET_WIDTH[c] as usize;
@@ -219,11 +388,11 @@ impl RrrVector {
         let mut out = RawBitVec::with_capacity(self.len);
         let mut ptr = 0usize;
         for b in 0..self.n_blocks() {
-            let c = self.class_of(b) as usize;
-            let word = self.decode_block_at(b, ptr);
+            let c = self.classes.get_bits(b * CLASS_BITS, CLASS_BITS) as u32;
+            let word = self.decode_block_with(c, ptr);
             let valid = RRR_BLOCK_BITS.min(self.len - b * RRR_BLOCK_BITS);
             out.push_bits(word, valid);
-            ptr += OFFSET_WIDTH[c] as usize;
+            ptr += OFFSET_WIDTH[c as usize] as usize;
         }
         out
     }
@@ -237,11 +406,9 @@ impl BitAccess for RrrVector {
 
     #[inline]
     fn get(&self, i: usize) -> bool {
-        assert!(i < self.len);
-        let block = i / RRR_BLOCK_BITS;
-        let (_, ptr) = self.locate_block(block);
-        let word = self.decode_block_at(block, ptr);
-        (word >> (i % RRR_BLOCK_BITS)) & 1 != 0
+        // locate_block accumulates the rank anyway, so the fused path costs
+        // the same and keeps a single partial-decode walk.
+        self.get_rank1(i).0
     }
 }
 
@@ -252,13 +419,12 @@ impl BitRank for RrrVector {
             return self.ones;
         }
         let block = i / RRR_BLOCK_BITS;
-        let (rank, ptr) = self.locate_block(block);
+        let (rank, ptr, c) = self.locate_block(block);
         let off = i % RRR_BLOCK_BITS;
         if off == 0 {
             return rank;
         }
-        let word = self.decode_block_at(block, ptr);
-        rank + (word & ((1u64 << off) - 1)).count_ones() as usize
+        rank + self.block_rank_low(c, ptr, off)
     }
 
     #[inline]
@@ -283,8 +449,9 @@ impl SpaceUsage for RrrVector {
     fn size_bits(&self) -> usize {
         self.classes.size_bits()
             + self.offsets.size_bits()
-            + self.sb_rank.capacity() * 64
-            + self.sb_ptr.capacity() * 64
+            + self.sb.capacity() * 128
+            + self.hints1.capacity() * 32
+            + self.hints0.capacity() * 32
             + 2 * 64
     }
 }
@@ -369,13 +536,50 @@ impl RrrBuilder {
         // Sentinel superblock so binary searches have an upper fence.
         self.sb_rank.push(self.ones as u64);
         self.sb_ptr.push(self.offsets.len() as u64);
+        // Sampled select hints: superblock of every SELECT_SAMPLE-th
+        // one/zero, derived from the superblock rank directory alone.
+        // Vectors spanning only a handful of superblocks skip them — the
+        // fallback binary search is already 2–3 probes there, and the many
+        // small node bitvectors of a Wavelet Trie then pay no hint memory.
+        let mut hints1 = Vec::new();
+        let mut hints0 = Vec::new();
+        if self.sb_rank.len() > 5 {
+            let total_ones = self.ones;
+            let total_zeros = self.target_len - total_ones;
+            let zeros_before = |sb: usize| {
+                (sb * SB_BLOCKS * RRR_BLOCK_BITS).min(self.target_len) - self.sb_rank[sb] as usize
+            };
+            hints1.reserve_exact(total_ones / SELECT_SAMPLE + 1);
+            hints0.reserve_exact(total_zeros / SELECT_SAMPLE + 1);
+            let mut sb = 0usize;
+            for k in (0..total_ones).step_by(SELECT_SAMPLE) {
+                while (self.sb_rank[sb + 1] as usize) <= k {
+                    sb += 1;
+                }
+                hints1.push(sb as u32);
+            }
+            let mut sb = 0usize;
+            for k in (0..total_zeros).step_by(SELECT_SAMPLE) {
+                while zeros_before(sb + 1) <= k {
+                    sb += 1;
+                }
+                hints0.push(sb as u32);
+            }
+        }
+        let sb: Vec<SbEntry> = self
+            .sb_rank
+            .iter()
+            .zip(&self.sb_ptr)
+            .map(|(&rank, &ptr)| SbEntry { rank, ptr })
+            .collect();
         RrrVector {
             len: self.target_len,
             ones: self.ones,
             classes: self.classes,
             offsets: self.offsets,
-            sb_rank: self.sb_rank,
-            sb_ptr: self.sb_ptr,
+            sb,
+            hints1,
+            hints0,
         }
     }
 }
@@ -448,6 +652,11 @@ mod tests {
         }
         for i in (0..bits.len()).step_by(step) {
             assert_eq!(rrr.get(i), bits.get(i), "get({i})");
+            assert_eq!(
+                rrr.get_rank1(i),
+                (bits.get(i), bits.rank1_scan(i)),
+                "get_rank1({i})"
+            );
         }
         let ones = bits.count_ones();
         for k in (0..ones).step_by((ones / 200).max(1)) {

@@ -52,6 +52,14 @@ pub trait TrieNav {
     /// Occurrences of `bit` in `β[0, i)`.
     fn nav_bv_rank<'a>(&'a self, v: Self::Node<'a>, bit: bool, i: usize) -> usize;
 
+    /// `(β[i], rank_{β[i]}(β, i))` in one probe — the position-mapping step
+    /// of every Access descent. Backends whose bitvectors can fuse the two
+    /// queries override this.
+    fn nav_bv_get_rank<'a>(&'a self, v: Self::Node<'a>, i: usize) -> (bool, usize) {
+        let b = self.nav_bv_get(v, i);
+        (b, self.nav_bv_rank(v, b, i))
+    }
+
     /// Position of the `k`-th `bit` in β.
     fn nav_bv_select<'a>(&'a self, v: Self::Node<'a>, bit: bool, k: usize) -> Option<usize>;
 
@@ -60,13 +68,86 @@ pub trait TrieNav {
     fn nav_key<'a>(&'a self, v: Self::Node<'a>) -> usize;
 }
 
+/// Entries a descent path keeps on the stack before spilling to the heap.
+/// Covers every realistic trie height (one entry per *branching* ancestor),
+/// so queries are allocation-free in the common case.
+const INLINE_PATH: usize = 40;
+
+/// The (ancestor, branch-bit) trail of a root-to-node descent.
+///
+/// A stack-allocated inline buffer with heap spill: `descend_exact` /
+/// `descend_prefix` run once per query, and the per-query `Vec` they used
+/// to build showed up as the last allocation in every static rank/select.
+/// The inline slots stay uninitialised until written (`len` tracks
+/// occupancy), so constructing a path costs nothing.
+pub(crate) struct DescentPath<'a, T: TrieNav + 'a> {
+    inline: [std::mem::MaybeUninit<(T::Node<'a>, bool)>; INLINE_PATH],
+    len: usize,
+    spill: Vec<(T::Node<'a>, bool)>,
+}
+
+impl<'a, T: TrieNav + 'a> DescentPath<'a, T> {
+    pub(crate) fn new() -> Self {
+        DescentPath {
+            inline: [std::mem::MaybeUninit::uninit(); INLINE_PATH],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Entry `k`, which must be `< self.len`.
+    #[inline]
+    fn inline_entry(&self, k: usize) -> (T::Node<'a>, bool) {
+        debug_assert!(k < self.len);
+        // SAFETY: `len` only grows past a slot in `push` after writing it,
+        // and entries are `Copy` (no drop obligations).
+        unsafe { self.inline[k].assume_init() }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, v: T::Node<'a>, b: bool) {
+        if self.len < INLINE_PATH {
+            self.inline[self.len].write((v, b));
+            self.len += 1;
+        } else {
+            self.spill.push((v, b));
+        }
+    }
+
+    /// The deepest (ancestor, branch) pair, if any.
+    #[inline]
+    pub(crate) fn last(&self) -> Option<(T::Node<'a>, bool)> {
+        self.spill.last().copied().or(if self.len > 0 {
+            Some(self.inline_entry(self.len - 1))
+        } else {
+            None
+        })
+    }
+
+    /// Root-to-leaf order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (T::Node<'a>, bool)> + '_ {
+        (0..self.len)
+            .map(|k| self.inline_entry(k))
+            .chain(self.spill.iter().copied())
+    }
+
+    /// Leaf-to-root order.
+    pub(crate) fn iter_rev(&self) -> impl Iterator<Item = (T::Node<'a>, bool)> + '_ {
+        self.spill
+            .iter()
+            .rev()
+            .copied()
+            .chain((0..self.len).rev().map(|k| self.inline_entry(k)))
+    }
+}
+
 /// Result of descending towards a query string.
 pub(crate) enum Descent<'a, T: TrieNav + 'a> {
     /// The string/prefix is represented: node, mapped position bounds
     /// unused here; path of (ancestor, branch bit) from root.
     Found {
         node: T::Node<'a>,
-        path: Vec<(T::Node<'a>, bool)>,
+        path: DescentPath<'a, T>,
     },
     /// No stored string matches.
     Absent,
@@ -83,9 +164,9 @@ pub(crate) fn access<T: TrieNav>(t: &T, pos: usize) -> BitString {
         if t.nav_is_leaf(v) {
             return out;
         }
-        let b = t.nav_bv_get(v, p);
+        let (b, mapped) = t.nav_bv_get_rank(v, p);
         out.push(b);
-        p = t.nav_bv_rank(v, b, p);
+        p = mapped;
         v = t.nav_child(v, b);
     }
 }
@@ -97,7 +178,7 @@ pub(crate) fn descend_exact<'a, T: TrieNav>(t: &'a T, s: BitStr<'_>) -> Descent<
         None => return Descent::Absent,
     };
     let mut delta = 0usize;
-    let mut path = Vec::new();
+    let mut path = DescentPath::new();
     loop {
         let rest = s.suffix(delta);
         let l = t.nav_label_lcp(v, rest);
@@ -118,7 +199,7 @@ pub(crate) fn descend_exact<'a, T: TrieNav>(t: &'a T, s: BitStr<'_>) -> Descent<
         }
         let b = s.get(delta);
         delta += 1;
-        path.push((v, b));
+        path.push(v, b);
         v = t.nav_child(v, b);
     }
 }
@@ -131,7 +212,7 @@ pub(crate) fn descend_prefix<'a, T: TrieNav>(t: &'a T, p: BitStr<'_>) -> Descent
         None => return Descent::Absent,
     };
     let mut delta = 0usize;
-    let mut path = Vec::new();
+    let mut path = DescentPath::new();
     loop {
         let rest = p.suffix(delta);
         let l = t.nav_label_lcp(v, rest);
@@ -145,15 +226,15 @@ pub(crate) fn descend_prefix<'a, T: TrieNav>(t: &'a T, p: BitStr<'_>) -> Descent
         }
         let b = p.get(delta);
         delta += 1;
-        path.push((v, b));
+        path.push(v, b);
         v = t.nav_child(v, b);
     }
 }
 
 /// Maps a position downward through the recorded path.
-fn map_down<'a, T: TrieNav>(t: &'a T, path: &[(T::Node<'a>, bool)], pos: usize) -> usize {
+fn map_down<'a, T: TrieNav>(t: &'a T, path: &DescentPath<'a, T>, pos: usize) -> usize {
     let mut p = pos;
-    for &(v, b) in path {
+    for (v, b) in path.iter() {
         p = t.nav_bv_rank(v, b, p);
     }
     p
@@ -179,25 +260,21 @@ pub(crate) fn rank_prefix<T: TrieNav>(t: &T, p: BitStr<'_>, pos: usize) -> usize
 }
 
 /// Walks a mapped index back up through the path with selects.
-fn map_up<'a, T: TrieNav>(t: &'a T, path: &[(T::Node<'a>, bool)], idx: usize) -> Option<usize> {
+fn map_up<'a, T: TrieNav>(t: &'a T, path: &DescentPath<'a, T>, idx: usize) -> Option<usize> {
     let mut i = idx;
-    for &(v, b) in path.iter().rev() {
+    for (v, b) in path.iter_rev() {
         i = t.nav_bv_select(v, b, i)?;
     }
     Some(i)
 }
 
 /// Number of occurrences of the subtree rooted at `node` (given its path).
-fn subtree_count<'a, T: TrieNav>(
-    t: &'a T,
-    node: T::Node<'a>,
-    path: &[(T::Node<'a>, bool)],
-) -> usize {
+fn subtree_count<'a, T: TrieNav>(t: &'a T, node: T::Node<'a>, path: &DescentPath<'a, T>) -> usize {
     if !t.nav_is_leaf(node) {
         t.nav_bv_len(node)
     } else {
         match path.last() {
-            Some(&(parent, b)) => t.nav_bv_rank(parent, b, t.nav_bv_len(parent)),
+            Some((parent, b)) => t.nav_bv_rank(parent, b, t.nav_bv_len(parent)),
             None => t.nav_len(), // root leaf: the whole sequence
         }
     }

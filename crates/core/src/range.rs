@@ -77,7 +77,7 @@ pub(crate) fn distinct_in_range_with_prefix<T: TrieNav>(
         Descent::Found { node, path } => {
             let (mut l, mut r) = (l, r);
             let mut prefix = BitString::new();
-            for &(v, b) in &path {
+            for (v, b) in path.iter() {
                 t.nav_label_append(v, &mut prefix);
                 prefix.push(b);
                 l = t.nav_bv_rank(v, b, l);
@@ -295,7 +295,7 @@ impl<'a, T: TrieNav> RangeIter<'a, T> {
             },
             Descent::Found { node, path } => {
                 let mut head = BitString::new();
-                for &(v, b) in &path {
+                for (v, b) in path.iter() {
                     t.nav_label_append(v, &mut head);
                     head.push(b);
                 }

@@ -31,6 +31,10 @@ pub struct WaveletTrie {
     bvs: RrrVector,
     /// Prefix sums of bitvector lengths (len = internals+1).
     bv_bounds: EliasFano,
+    /// Prefix sums of per-node ones (len = internals+1): rank at each
+    /// node's segment start in O(1), halving the bitvector probes of every
+    /// in-node rank/select.
+    bv_ones: EliasFano,
     /// `n·H0(S)` in bits, computed during construction (for the space report).
     nh0_bits: f64,
     /// Length of the root label (excluded from `|L|` in Theorem 3.6).
@@ -97,6 +101,7 @@ impl WaveletTrie {
                 internal: Fid::new(RawBitVec::new()),
                 bvs: RrrVector::new(&RawBitVec::new()),
                 bv_bounds: EliasFano::prefix_sums(std::iter::empty()),
+                bv_ones: EliasFano::prefix_sums(std::iter::empty()),
                 nh0_bits: 0.0,
                 root_label_len: 0,
             });
@@ -114,6 +119,7 @@ impl WaveletTrie {
         let mut label_refs: Vec<(u32, usize, usize)> = Vec::new();
         let mut bv_concat = RawBitVec::new();
         let mut bv_lens: Vec<u64> = Vec::new();
+        let mut bv_ones_per_node: Vec<u64> = Vec::new();
         let mut nh0 = 0.0f64;
         let mut root_label_len = 0usize;
         let mut first_node = true;
@@ -166,6 +172,7 @@ impl WaveletTrie {
                 }
             }
             bv_lens.push(idx.len() as u64);
+            bv_ones_per_node.push(idx1.len() as u64);
             debug_assert!(!idx0.is_empty() && !idx1.is_empty());
             // Preorder: child 0 first, so push child 1 below it on the stack.
             stack.push(Frame {
@@ -185,6 +192,7 @@ impl WaveletTrie {
         let label_bounds = EliasFano::prefix_sums(label_refs.iter().map(|&(_, _, l)| l as u64));
         let internal = Fid::from_bits(degrees.iter().map(|&d| d == 2));
         let bv_bounds = EliasFano::prefix_sums(bv_lens.iter().copied());
+        let bv_ones = EliasFano::prefix_sums(bv_ones_per_node.iter().copied());
         let bvs = RrrVector::new(&bv_concat);
         Ok(WaveletTrie {
             n,
@@ -194,6 +202,7 @@ impl WaveletTrie {
             internal,
             bvs,
             bv_bounds,
+            bv_ones,
             nh0_bits: nh0,
             root_label_len,
         })
@@ -220,19 +229,23 @@ impl WaveletTrie {
     #[inline]
     fn label_range(&self, v: usize) -> (usize, usize) {
         let pid = self.tree.preorder(v);
-        let s = self.label_bounds.get(pid) as usize;
-        let e = self.label_bounds.get(pid + 1) as usize;
-        (s, e)
+        let (s, e) = self.label_bounds.get_pair(pid);
+        (s as usize, e as usize)
     }
 
     #[inline]
     fn bv_range(&self, v: usize) -> (usize, usize) {
+        let j = self.bv_index(v);
+        let (s, e) = self.bv_bounds.get_pair(j);
+        (s as usize, e as usize)
+    }
+
+    /// Index of internal node `v` into the bitvector directories.
+    #[inline]
+    fn bv_index(&self, v: usize) -> usize {
         let pid = self.tree.preorder(v);
         debug_assert!(self.internal.get(pid));
-        let j = self.internal.rank1(pid);
-        let s = self.bv_bounds.get(j) as usize;
-        let e = self.bv_bounds.get(j + 1) as usize;
-        (s, e)
+        self.internal.rank1(pid)
     }
 
     /// Measured vs. information-theoretic space (experiment E4).
@@ -246,7 +259,9 @@ impl WaveletTrie {
         let label_bits = self.labels.len();
         let label_delim_bits = self.label_bounds.size_bits();
         let bv_bits = self.bvs.size_bits();
-        let bv_delim_bits = self.bv_bounds.size_bits();
+        // Delimiters + the per-node ones directory that backs O(1)
+        // segment-start ranks.
+        let bv_delim_bits = self.bv_bounds.size_bits() + self.bv_ones.size_bits();
         let flags_bits = self.internal.size_bits();
         let total_bits = self.labels.size_bits()
             + tree_bits
@@ -351,22 +366,44 @@ impl TrieNav for WaveletTrie {
 
     #[inline]
     fn nav_bv_get(&self, v: usize, i: usize) -> bool {
-        let (s, e) = self.bv_range(v);
-        debug_assert!(i < e - s);
+        let j = self.bv_index(v);
+        let s = self.bv_bounds.get(j) as usize;
         self.bvs.get(s + i)
     }
 
     #[inline]
     fn nav_bv_rank(&self, v: usize, bit: bool, i: usize) -> usize {
-        let (s, e) = self.bv_range(v);
-        debug_assert!(i <= e - s);
-        self.bvs.rank(bit, s + i) - self.bvs.rank(bit, s)
+        let j = self.bv_index(v);
+        let s = self.bv_bounds.get(j) as usize;
+        let ones_before = self.bv_ones.get(j) as usize;
+        let r1 = self.bvs.rank1(s + i);
+        if bit {
+            r1 - ones_before
+        } else {
+            (s + i - r1) - (s - ones_before)
+        }
+    }
+
+    #[inline]
+    fn nav_bv_get_rank(&self, v: usize, i: usize) -> (bool, usize) {
+        let j = self.bv_index(v);
+        let s = self.bv_bounds.get(j) as usize;
+        let ones_before = self.bv_ones.get(j) as usize;
+        let (bit, r1) = self.bvs.get_rank1(s + i);
+        if bit {
+            (true, r1 - ones_before)
+        } else {
+            (false, (s + i - r1) - (s - ones_before))
+        }
     }
 
     #[inline]
     fn nav_bv_select(&self, v: usize, bit: bool, k: usize) -> Option<usize> {
-        let (s, e) = self.bv_range(v);
-        let before = self.bvs.rank(bit, s);
+        let j = self.bv_index(v);
+        let (s, e) = self.bv_bounds.get_pair(j);
+        let (s, e) = (s as usize, e as usize);
+        let ones_before = self.bv_ones.get(j) as usize;
+        let before = if bit { ones_before } else { s - ones_before };
         let p = self.bvs.select(bit, before + k)?;
         (p < e).then(|| p - s)
     }

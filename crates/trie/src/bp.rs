@@ -3,76 +3,51 @@
 //! The DFUDS tree encoding of the static Wavelet Trie (§3, [Benoit et al.])
 //! needs matching-parenthesis navigation. The paper assumes O(1) operations
 //! via Four-Russians tables; we implement the standard engineered
-//! alternative — a range-min (rmM) tree over 512-bit blocks with byte-table
-//! scans inside blocks, giving O(log n) worst case and one-block scans in
-//! practice (DESIGN.md substitution #1/#6 discussion).
+//! alternative — a range-min (rmM) tree over 512-bit blocks with broadword
+//! in-block scans, giving O(log n) worst case and one-block scans in
+//! practice (DESIGN.md substitutions #1/#6/#9 discussion).
+//!
+//! In-block scans are fully word-level: 64 bits are consumed per step, a
+//! popcount gate skips words that cannot contain the sought excess level,
+//! and the hit word is resolved with the table-free SWAR parenthesis
+//! ladder of [`wt_bits::broadword::ExcessWord`] — no byte tables, no bit
+//! loops.
 //!
 //! Convention: bit `1` is `'('` (+1), bit `0` is `')'` (−1);
 //! `excess(i)` is the sum over `[0, i)`.
 
+use wt_bits::broadword::{min_prefix_excess, pad_open_above, word_excess, ExcessWord};
 use wt_bits::{BitAccess, BitRank, Fid, RawBitVec};
 
-/// Bits per rmM leaf block.
+/// Bits per rmM leaf block (a multiple of 64 so blocks are word-aligned).
+/// 512 balances the first-block scan (≤ 8 word ladders) against rmM tree
+/// depth; 1024/2048 measured slower on navigation-heavy shapes because the
+/// in-block scan grows faster than the tree shrinks.
 const BLOCK: usize = 512;
 
-/// Per-byte total excess: `2·popcount − 8`.
-const fn byte_excess_table() -> [i8; 256] {
-    let mut t = [0i8; 256];
-    let mut v = 0usize;
-    while v < 256 {
-        t[v] = 2 * (v as u8).count_ones() as i8 - 8;
-        v += 1;
-    }
-    t
+/// One rmM segment-tree node, packed so a climb step touches one cache
+/// line instead of three parallel arrays. `i32` is ample: excesses are
+/// bounded by the sequence length, and 2³¹ parentheses would dwarf every
+/// other structure first.
+#[derive(Clone, Copy, Debug)]
+struct RmmNode {
+    /// Total excess of the range.
+    tot: i32,
+    /// Min prefix excess (over non-empty prefixes) relative to range start;
+    /// `i32::MAX` marks an empty (padding) node.
+    min: i32,
+    /// Max prefix excess; `i32::MIN` when empty. Together with `min` this
+    /// makes the backward reachability test exact (suffix δ-sums of a range
+    /// span exactly `[tot − max(0, max), tot − min(0, min)]`), so
+    /// `bwd_search` never descends into a block that cannot contain its hit.
+    max: i32,
 }
 
-/// Per-byte minimum prefix excess over prefixes of length 1..=8
-/// (reading bits LSB-first, matching [`RawBitVec`] order).
-const fn byte_fwd_min_table() -> [i8; 256] {
-    let mut t = [0i8; 256];
-    let mut v = 0usize;
-    while v < 256 {
-        let mut run = 0i8;
-        let mut min = i8::MAX;
-        let mut k = 0;
-        while k < 8 {
-            run += if (v >> k) & 1 == 1 { 1 } else { -1 };
-            if run < min {
-                min = run;
-            }
-            k += 1;
-        }
-        t[v] = min;
-        v += 1;
-    }
-    t
-}
-
-/// Per-byte minimum running excess when consuming bits from bit 7 down to
-/// bit 0, where consuming bit b updates `run -= δ(b)`.
-const fn byte_bwd_min_table() -> [i8; 256] {
-    let mut t = [0i8; 256];
-    let mut v = 0usize;
-    while v < 256 {
-        let mut run = 0i8;
-        let mut min = i8::MAX;
-        let mut k = 8usize;
-        while k > 0 {
-            k -= 1;
-            run -= if (v >> k) & 1 == 1 { 1 } else { -1 };
-            if run < min {
-                min = run;
-            }
-        }
-        t[v] = min;
-        v += 1;
-    }
-    t
-}
-
-const BYTE_EXC: [i8; 256] = byte_excess_table();
-const BYTE_FWD_MIN: [i8; 256] = byte_fwd_min_table();
-const BYTE_BWD_MIN: [i8; 256] = byte_bwd_min_table();
+const RMM_EMPTY: RmmNode = RmmNode {
+    tot: 0,
+    min: i32::MAX,
+    max: i32::MIN,
+};
 
 /// Balanced-parentheses bitvector with rank/select and matching navigation.
 #[derive(Clone, Debug)]
@@ -80,11 +55,8 @@ pub struct BpSupport {
     bits: Fid,
     /// Number of rmM leaves (power of two ≥ number of blocks).
     leaves: usize,
-    /// Segment tree (1-indexed): total excess of each node's range.
-    tot: Vec<i64>,
-    /// Segment tree: min prefix excess (over non-empty prefixes) relative to
-    /// the range start.
-    min: Vec<i64>,
+    /// rmM segment tree, 1-indexed.
+    rmm: Vec<RmmNode>,
 }
 
 impl BpSupport {
@@ -92,44 +64,59 @@ impl BpSupport {
     pub fn new(bits: RawBitVec) -> Self {
         let n_blocks = bits.len().div_ceil(BLOCK).max(1);
         let leaves = n_blocks.next_power_of_two();
-        let mut tot = vec![0i64; 2 * leaves];
-        let mut min = vec![i64::MAX; 2 * leaves];
+        let mut rmm = vec![RMM_EMPTY; 2 * leaves];
         for b in 0..n_blocks {
-            let (t, m) = Self::block_summary(&bits, b);
-            tot[leaves + b] = t;
-            min[leaves + b] = m;
-        }
-        for b in n_blocks..leaves {
-            tot[leaves + b] = 0;
-            min[leaves + b] = i64::MAX; // empty: unreachable
+            rmm[leaves + b] = Self::block_summary(&bits, b);
         }
         for k in (1..leaves).rev() {
-            let (l, r) = (2 * k, 2 * k + 1);
-            tot[k] = tot[l] + tot[r];
-            min[k] = min[l].min(if min[r] == i64::MAX {
-                i64::MAX
-            } else {
-                tot[l] + min[r]
-            });
+            let (l, r) = (rmm[2 * k], rmm[2 * k + 1]);
+            rmm[k] = RmmNode {
+                tot: l.tot + r.tot,
+                min: l.min.min(if r.min == i32::MAX {
+                    i32::MAX
+                } else {
+                    l.tot + r.min
+                }),
+                max: l.max.max(if r.max == i32::MIN {
+                    i32::MIN
+                } else {
+                    l.tot + r.max
+                }),
+            };
         }
         BpSupport {
             bits: Fid::new(bits),
             leaves,
-            tot,
-            min,
+            rmm,
         }
     }
 
-    fn block_summary(bits: &RawBitVec, b: usize) -> (i64, i64) {
+    /// Bits the rmM directory occupies (for space accounting).
+    pub fn directory_bits(&self) -> usize {
+        self.rmm.capacity() * std::mem::size_of::<RmmNode>() * 8 + 64
+    }
+
+    fn block_summary(bits: &RawBitVec, b: usize) -> RmmNode {
         let start = b * BLOCK;
         let end = (start + BLOCK).min(bits.len());
-        let mut run = 0i64;
-        let mut min = i64::MAX;
-        for i in start..end {
-            run += if bits.get(i) { 1 } else { -1 };
-            min = min.min(run);
+        let words = bits.words();
+        let mut run = 0i32;
+        let mut min = i32::MAX;
+        let mut max = i32::MIN;
+        let mut i = start;
+        while i < end {
+            let span = (end - i).min(64);
+            // `start` is word-aligned (BLOCK % 64 == 0); '(' padding leaves
+            // both the valid-prefix minima and the popcount of ')' intact.
+            // The max side mirrors through the complement: max prefix
+            // excess of w = −(min prefix excess of !w).
+            let chunk = words[i / 64];
+            min = min.min(run + min_prefix_excess(pad_open_above(chunk, span)));
+            max = max.max(run - min_prefix_excess(pad_open_above(!chunk, span)));
+            run += word_excess(pad_open_above(chunk, span)) - (64 - span) as i32;
+            i += span;
         }
-        (run, min)
+        RmmNode { tot: run, min, max }
     }
 
     /// The underlying FID (for rank/select on the parentheses).
@@ -205,23 +192,24 @@ impl BpSupport {
         // 2. Climb the rmM tree for the first reachable block to the right.
         let mut node = self.leaves + first_block;
         loop {
-            // Climb while `node` is a right child; stop at a left child whose
+            // Climb while `node` is a right child (one shift: right-child
+            // chains are trailing one bits); stop at a left child whose
             // right sibling is the next unexamined subtree.
-            while node > 1 && node & 1 == 1 {
-                node >>= 1;
-            }
+            node >>= node.trailing_ones();
             if node <= 1 {
                 return None;
             }
             node += 1; // right sibling
-            if self.min[node] != i64::MAX && running + self.min[node] <= target {
+            let s = self.rmm[node];
+            if s.min != i32::MAX && running + s.min as i64 <= target {
                 // Descend to the leftmost reachable leaf.
                 while node < self.leaves {
                     let l = 2 * node;
-                    if self.min[l] != i64::MAX && running + self.min[l] <= target {
+                    let ls = self.rmm[l];
+                    if ls.min != i32::MAX && running + ls.min as i64 <= target {
                         node = l;
                     } else {
-                        running += self.tot[l];
+                        running += ls.tot as i64;
                         node = l + 1;
                     }
                 }
@@ -233,53 +221,54 @@ impl BpSupport {
                     Err(r) => running = r, // conservative test overshot; continue
                 }
             } else {
-                running += self.tot[node];
+                running += s.tot as i64;
             }
         }
     }
 
     /// Scans `[from, to)` forward; `Ok(j)` when the running excess hits
     /// `target` after consuming `j`, else `Err(final_running)`.
-    fn fwd_scan(
-        &self,
-        from: usize,
-        to: usize,
-        mut running: i64,
-        target: i64,
-    ) -> Result<usize, i64> {
+    ///
+    /// Every caller searches *downward* (`running > target`), so the hit is
+    /// the `d`-th unmatched `')'` for `d = running − target`; each 64-bit
+    /// chunk is first gated by its `')'` count and only a chunk that can
+    /// contain the hit pays for the SWAR ladder.
+    fn fwd_scan(&self, from: usize, to: usize, running: i64, target: i64) -> Result<usize, i64> {
+        debug_assert!(running > target, "fwd_scan searches downward");
+        let mut d = running - target;
+        let words = self.bits.raw().words();
         let mut i = from;
-        // Bitwise to the next byte boundary.
-        while i < to && !i.is_multiple_of(8) {
-            running += if self.bits.get(i) { 1 } else { -1 };
-            if running == target {
+        // Near-hit fast path: most DFUDS navigation matches within a few
+        // bits (leaf children, adjacent siblings), where a short bit scan
+        // beats building the ladder.
+        let near_end = to.min(from + 8);
+        while i < near_end {
+            d += if (words[i / 64] >> (i % 64)) & 1 != 0 {
+                1
+            } else {
+                -1
+            };
+            if d == 0 {
                 return Ok(i);
             }
             i += 1;
         }
-        // Whole bytes with table pruning.
-        while i + 8 <= to {
-            let byte = (self.bits.raw().get_bits(i, 8)) as usize;
-            if running + BYTE_FWD_MIN[byte] as i64 <= target {
-                for k in 0..8 {
-                    running += if (byte >> k) & 1 == 1 { 1 } else { -1 };
-                    if running == target {
-                        return Ok(i + k);
-                    }
-                }
-                unreachable!("byte table promised a match");
-            }
-            running += BYTE_EXC[byte] as i64;
-            i += 8;
-        }
-        // Tail bits.
         while i < to {
-            running += if self.bits.get(i) { 1 } else { -1 };
-            if running == target {
-                return Ok(i);
+            let off = i % 64;
+            let span = (to - i).min(64 - off);
+            let chunk = pad_open_above(words[i / 64] >> off, span);
+            let ones = chunk.count_ones() as i64;
+            if d <= 64 - ones {
+                if let Some(p) = ExcessWord::new(chunk).find_fwd_excess(d as u32) {
+                    return Ok(i + p as usize);
+                }
             }
-            i += 1;
+            // No hit: advance past the chunk's `span` valid bits. The new
+            // deficit stays ≥ 1 — dropping to 0 would itself be a hit.
+            d += 2 * ones - 64 - (64 - span) as i64;
+            i += span;
         }
-        Err(running)
+        Err(target + d)
     }
 
     /// Backward search: largest `j < from` such that `running` minus the
@@ -297,28 +286,31 @@ impl BpSupport {
         }
         let mut node = self.leaves + first_block;
         loop {
-            while node > 1 && node & 1 == 0 {
-                node >>= 1;
-            }
+            // Climb while `node` is a left child (trailing zero bits).
+            node >>= node.trailing_zeros().min(63);
             if node <= 1 {
                 return None;
             }
             // left sibling
             node -= 1;
-            // Backward reachability: scanning the range right-to-left from
-            // running value R reaches R − tot + prefix_k for k = 0..len−1;
-            // the minimum is bounded below by R − tot + min(0, min-prefix).
-            let reach = self.min[node] != i64::MAX
-                && running - self.tot[node] + self.min[node].min(0) <= target;
-            if reach {
+            // Backward reachability, exact: scanning the range right-to-left
+            // from running value R visits R − σ(j) for the suffix δ-sums
+            // σ(j), which (±1 steps) cover exactly
+            // [tot − max(0, max-prefix), tot − min(0, min-prefix)].
+            let reach = |s: RmmNode, running: i64| {
+                s.min != i32::MAX
+                    && running - s.tot as i64 + (s.min as i64).min(0) <= target
+                    && running - s.tot as i64 + (s.max as i64).max(0) >= target
+            };
+            let s = self.rmm[node];
+            if reach(s, running) {
                 while node < self.leaves {
                     let r = 2 * node + 1;
-                    let r_reach = self.min[r] != i64::MAX
-                        && running - self.tot[r] + self.min[r].min(0) <= target;
-                    if r_reach {
+                    let rs = self.rmm[r];
+                    if reach(rs, running) {
                         node = r;
                     } else {
-                        running -= self.tot[r];
+                        running -= rs.tot as i64;
                         node *= 2;
                     }
                 }
@@ -330,51 +322,55 @@ impl BpSupport {
                     Err(r) => running = r,
                 }
             } else {
-                running -= self.tot[node];
+                running -= s.tot as i64;
             }
         }
     }
 
     /// Scans `[from, to)` backward; `Ok(j)` when the running value after
     /// un-consuming bit `j` equals `target`, else `Err(final_running)`.
-    fn bwd_scan(
-        &self,
-        from: usize,
-        to: usize,
-        mut running: i64,
-        target: i64,
-    ) -> Result<usize, i64> {
-        let mut i = to;
-        while i > from && !i.is_multiple_of(8) {
-            i -= 1;
-            running -= if self.bits.get(i) { 1 } else { -1 };
-            if running == target {
-                return Ok(i);
+    ///
+    /// Every caller searches downward (`running > target`), i.e. the hit is
+    /// the largest `j` whose suffix δ-sum over `[j, to)` equals
+    /// `d = running − target` — the `d`-th unmatched `'('` from the top.
+    /// Chunks are aligned so their top valid bit sits at bit 63 and the
+    /// low side is padded with `')'` (which cannot add unmatched openers).
+    fn bwd_scan(&self, from: usize, to: usize, running: i64, target: i64) -> Result<usize, i64> {
+        debug_assert!(running > target, "bwd_scan searches downward");
+        let mut d = running - target;
+        let words = self.bits.raw().words();
+        let mut ce = to;
+        // Near-hit fast path mirroring `fwd_scan`.
+        let near_end = from.max(to.saturating_sub(8));
+        while ce > near_end {
+            let j = ce - 1;
+            d -= if (words[j / 64] >> (j % 64)) & 1 != 0 {
+                1
+            } else {
+                -1
+            };
+            if d == 0 {
+                return Ok(j);
             }
+            ce = j;
         }
-        while i >= from + 8 {
-            let byte = (self.bits.raw().get_bits(i - 8, 8)) as usize;
-            if running + BYTE_BWD_MIN[byte] as i64 <= target {
-                for k in (0..8).rev() {
-                    i -= 1;
-                    running -= if (byte >> k) & 1 == 1 { 1 } else { -1 };
-                    if running == target {
-                        return Ok(i);
-                    }
+        while ce > from {
+            let w_idx = (ce - 1) / 64;
+            let cs = from.max(w_idx * 64);
+            let len = ce - cs;
+            let shl = 63 - ((ce - 1) % 64);
+            let chunk = (words[w_idx] << shl) & (!0u64 << (64 - len));
+            let ones = chunk.count_ones() as i64;
+            if d <= ones {
+                if let Some(p) = ExcessWord::new(chunk).find_bwd_excess(d as u32) {
+                    return Ok(cs + (p as usize - (64 - len)));
                 }
-                unreachable!("byte table promised a match");
             }
-            running -= BYTE_EXC[byte] as i64;
-            i -= 8;
+            // δ-sum of the len valid bits; each padding ')' contributed −1.
+            d -= 2 * ones - 64 + (64 - len) as i64;
+            ce = cs;
         }
-        while i > from {
-            i -= 1;
-            running -= if self.bits.get(i) { 1 } else { -1 };
-            if running == target {
-                return Ok(i);
-            }
-        }
-        Err(running)
+        Err(target + d)
     }
 }
 

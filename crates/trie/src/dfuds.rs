@@ -85,9 +85,30 @@ impl Dfuds {
     }
 
     /// Degree (number of children) of `v`.
+    ///
+    /// `v`'s encoding is `degree` opens followed by one close, so the
+    /// degree is the distance to the first `')'` at or after `v`. A direct
+    /// two-word scan resolves it without touching the select directory when
+    /// the close lies within 65–128 bits of `v` (depending on `v`'s word
+    /// offset) — always, for wavelet-trie shaped binary tries; larger
+    /// fan-outs fall back to the `(preorder(v))`-th-zero select.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        // v's ')' is the (preorder(v))-th zero.
+        let words = self.bp.fid().raw().words();
+        let mut w_idx = v / 64;
+        let mut inv = !words[w_idx] & (!0u64 << (v % 64));
+        for _ in 0..2 {
+            if inv != 0 {
+                // The close exists within the sequence, so the scan cannot
+                // land on the zero padding past `len`.
+                return w_idx * 64 + inv.trailing_zeros() as usize - v;
+            }
+            w_idx += 1;
+            match words.get(w_idx) {
+                Some(&w) => inv = !w,
+                None => break,
+            }
+        }
         let close = self
             .bp
             .fid()
@@ -116,18 +137,24 @@ impl Dfuds {
             + 1
     }
 
+    /// Node whose encoding contains the `'('` at `q` (one of its child
+    /// slots) — the shared back half of `parent` / `child_index`.
+    fn node_of_open(&self, q: usize) -> NodeId {
+        let pre = self.bp.fid().rank0(q);
+        if pre == 0 {
+            1
+        } else {
+            self.bp.fid().select0(pre - 1).expect("in range") + 1
+        }
+    }
+
     /// Parent of `v`, or `None` for the root.
     pub fn parent(&self, v: NodeId) -> Option<NodeId> {
         if v == 1 {
             return None;
         }
         let q = self.bp.find_open(v - 1).expect("DFUDS is balanced");
-        let pre = self.bp.fid().rank0(q);
-        Some(if pre == 0 {
-            1
-        } else {
-            self.bp.fid().select0(pre - 1).expect("in range") + 1
-        })
+        Some(self.node_of_open(q))
     }
 
     /// Which child of its parent `v` is (0-based), or `None` for the root.
@@ -135,8 +162,10 @@ impl Dfuds {
         if v == 1 {
             return None;
         }
+        // Resolve the backward match once and reuse it for both the parent
+        // node and the child-slot arithmetic.
         let q = self.bp.find_open(v - 1).expect("DFUDS is balanced");
-        let parent = self.parent(v).expect("not root");
+        let parent = self.node_of_open(q);
         Some(parent + self.degree(parent) - 1 - q)
     }
 
@@ -149,7 +178,7 @@ impl Dfuds {
 impl SpaceUsage for Dfuds {
     fn size_bits(&self) -> usize {
         // BP bits + its Fid directory + rmM tree, plus our node counter.
-        self.bp.fid().size_bits() + 64
+        self.bp.fid().size_bits() + self.bp.directory_bits() + 64
     }
 }
 
@@ -349,6 +378,25 @@ mod tests {
         ] {
             let (r, degrees) = RefTree::random(n, seed, fanout);
             check_tree(&r, &degrees);
+        }
+    }
+
+    #[test]
+    fn huge_fanout_uses_select_fallback() {
+        // Root with 299 leaf children: degree > 128 crosses the two-word
+        // scan window and must fall back to the select directory.
+        let n = 300usize;
+        let mut degrees = vec![n - 1];
+        degrees.extend(std::iter::repeat_n(0, n - 1));
+        let t = Dfuds::from_degrees(degrees.iter().copied());
+        let root = t.root().unwrap();
+        assert_eq!(t.degree(root), n - 1);
+        for k in (0..n - 1).step_by(37) {
+            let c = t.child(root, k);
+            assert!(t.is_leaf(c));
+            assert_eq!(t.degree(c), 0);
+            assert_eq!(t.parent(c), Some(root));
+            assert_eq!(t.child_index(c), Some(k));
         }
     }
 

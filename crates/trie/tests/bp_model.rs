@@ -1,0 +1,189 @@
+//! Model-based BP navigation suite on deep, skewed parenthesis strings —
+//! the shapes where the word-level fwd/bwd excess scans must climb the rmM
+//! tree far and land exactly: deep nesting (matches tens of thousands of
+//! bits apart), skewed combs, long flat runs crossing rmM leaves, and
+//! word/block boundary alignments. Everything is mirrored against naive
+//! linear scans.
+
+use wt_bits::RawBitVec;
+use wt_trie::BpSupport;
+
+fn naive_close(bits: &RawBitVec, i: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for j in i..bits.len() {
+        depth += if bits.get(j) { 1 } else { -1 };
+        if depth == 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn naive_open(bits: &RawBitVec, i: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for j in (0..=i).rev() {
+        depth += if bits.get(j) { -1 } else { 1 };
+        if depth == 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Checks every position when the input is small, or a boundary-focused
+/// sample when it is large.
+fn check(bits: &RawBitVec) {
+    let bp = BpSupport::new(bits.clone());
+    let n = bits.len();
+    let probes: Vec<usize> = if n <= 4000 {
+        (0..n).collect()
+    } else {
+        let mut p: Vec<usize> = (0..n).step_by(509).collect();
+        // word, rmM-block and endpoint alignments
+        for base in (0..n).step_by(512) {
+            for d in [0usize, 1, 62, 63, 64, 65, 510, 511] {
+                if base + d < n {
+                    p.push(base + d);
+                }
+            }
+        }
+        p.extend([n - 2, n - 1]);
+        p.sort_unstable();
+        p.dedup();
+        p
+    };
+    for &i in &probes {
+        if bits.get(i) {
+            assert_eq!(bp.find_close(i), naive_close(bits, i), "find_close({i})");
+        } else {
+            assert_eq!(bp.find_open(i), naive_open(bits, i), "find_open({i})");
+        }
+    }
+}
+
+fn deep_nest(depth: usize) -> RawBitVec {
+    let mut bits = RawBitVec::with_capacity(2 * depth);
+    for _ in 0..depth {
+        bits.push(true);
+    }
+    for _ in 0..depth {
+        bits.push(false);
+    }
+    bits
+}
+
+/// `(()(()(… ` — a right-leaning comb: every close matches a near open but
+/// the outermost spans the whole string.
+fn skewed_comb(pairs: usize) -> RawBitVec {
+    let mut bits = RawBitVec::new();
+    for _ in 0..pairs {
+        bits.push(true);
+        bits.push(true);
+        bits.push(false);
+    }
+    for _ in 0..pairs {
+        bits.push(false);
+    }
+    bits
+}
+
+/// Biased random walk: stays balanced but wanders to depth ~sqrt(n).
+fn wandering(pairs: usize, seed: u64, bias: u64) -> RawBitVec {
+    let mut s = seed.max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut bits = RawBitVec::new();
+    let mut open = 0usize;
+    let mut remaining = pairs;
+    while remaining > 0 || open > 0 {
+        let can_open = remaining > 0;
+        let can_close = open > 0;
+        let do_open = can_open && (!can_close || next() % 100 < bias);
+        if do_open {
+            bits.push(true);
+            open += 1;
+            remaining -= 1;
+        } else {
+            bits.push(false);
+            open -= 1;
+        }
+    }
+    bits
+}
+
+#[test]
+fn deep_nesting_far_matches() {
+    // Matches up to 131072 bits apart: full rmM climbs and descents.
+    for depth in [512usize, 513, 8191, 8192, 65_536] {
+        let bits = deep_nest(depth);
+        let bp = BpSupport::new(bits.clone());
+        assert_eq!(bp.find_close(0), Some(2 * depth - 1));
+        assert_eq!(bp.find_open(2 * depth - 1), Some(0));
+        assert_eq!(bp.find_close(depth - 1), Some(depth));
+        assert_eq!(bp.find_open(depth), Some(depth - 1));
+        // sampled cross-checks against naive
+        for i in (0..depth).step_by(depth / 7 + 1) {
+            assert_eq!(
+                bp.find_close(i),
+                naive_close(&bits, i),
+                "depth {depth} i {i}"
+            );
+            assert_eq!(
+                bp.find_open(2 * depth - 1 - i),
+                naive_open(&bits, 2 * depth - 1 - i)
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_combs() {
+    for pairs in [100usize, 1000, 20_000] {
+        check(&skewed_comb(pairs));
+    }
+}
+
+#[test]
+fn wandering_walks() {
+    for (pairs, seed, bias) in [(1000usize, 3u64, 50u64), (30_000, 5, 80), (30_000, 9, 95)] {
+        check(&wandering(pairs, seed, bias));
+    }
+}
+
+#[test]
+fn flat_runs_cross_blocks() {
+    // ()()()… : every match adjacent, but scans start at every alignment.
+    check(&RawBitVec::from_bits((0..10_000).map(|i| i % 2 == 0)));
+    // (())(())… : matches 1–3 bits away.
+    check(&RawBitVec::from_bits((0..10_000).map(|i| i % 4 < 2)));
+}
+
+#[test]
+fn unbalanced_tails_return_none() {
+    // Excess never returns: deep unmatched prefixes and suffixes.
+    let mut bits = RawBitVec::filled(true, 2000);
+    bits.push(false);
+    let bp = BpSupport::new(bits);
+    assert_eq!(bp.find_close(0), None);
+    assert_eq!(bp.find_close(1998), None);
+    assert_eq!(bp.find_close(1999), Some(2000));
+
+    let mut bits = RawBitVec::filled(false, 2000);
+    bits.push(true);
+    let bp = BpSupport::new(bits);
+    assert_eq!(bp.find_open(1999), None);
+    assert_eq!(bp.find_close(2000), None);
+}
+
+#[test]
+fn boundary_lengths() {
+    // Lengths straddling word and rmM-block boundaries.
+    for pairs in [31usize, 32, 33, 255, 256, 257, 511, 512, 513] {
+        check(&deep_nest(pairs));
+        check(&wandering(pairs, pairs as u64 + 1, 60));
+    }
+}
