@@ -5,7 +5,7 @@
 //! * [`NaiveSeq`] — plain `Vec` with linear scans (ground truth + E7
 //!   baseline).
 //! * [`IntWaveletTree`] — the classic fixed-alphabet balanced Wavelet Tree
-//!   [13] the Wavelet Trie generalizes.
+//!   \[13\] the Wavelet Trie generalizes.
 //! * [`DictSequence`] — approach (1): dictionary-mapped integers; rebuilds
 //!   on alphabet growth (issue (a)), no prefix queries (issue (b)).
 //! * [`BTreeIndex`] — approach (3): sorted `(s, i)` dictionary + full

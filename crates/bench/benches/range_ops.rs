@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
-use wavelet_trie::{BitString, SequenceOps, WaveletTrie};
+use wavelet_trie::{BitString, SeqIndex, SequenceOps, WaveletTrie};
 use wt_baselines::NaiveSeq;
 use wt_workloads::{url_log, UrlLogConfig};
 

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
-use wavelet_trie::{BitString, DynamicWaveletTrie, SequenceOps};
+use wavelet_trie::{BitString, DynamicWaveletTrie, SeqIndex};
 use wt_workloads::{url_log, UrlLogConfig};
 
 fn bench_dynamic(c: &mut Criterion) {

@@ -2,7 +2,7 @@
 //!
 //! Unlike `bitvec_report` (which checks the *asymptotic shape* of the §4.2
 //! cost claims), this report measures absolute throughput of every
-//! [`DynamicBitVec`] and [`DynamicWaveletTrie`] hot path across bit
+//! [`wt_bits::DynamicBitVec`] and [`wavelet_trie::DynamicWaveletTrie`] hot path across bit
 //! distributions, and writes machine-readable `BENCH_dynamic.json` so each
 //! perf PR extends a comparable trajectory.
 //!

@@ -6,7 +6,7 @@
 //! the window (`Σ |s| + h_s·C_op`), not with the window length.
 
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
-use wavelet_trie::{BitString, SequenceOps, WaveletTrie};
+use wavelet_trie::{BitString, SeqIndex, SequenceOps, WaveletTrie};
 use wt_baselines::NaiveSeq;
 use wt_bench::{fmt_ns, time_per_op_ns, Table};
 use wt_workloads::{url_log, word_text, UrlLogConfig};

@@ -8,7 +8,7 @@
 
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
 use wavelet_trie::{
-    AppendWaveletTrie, BitString, DynamicWaveletTrie, SequenceOps, SequenceStats, WaveletTrie,
+    AppendWaveletTrie, BitString, DynamicWaveletTrie, SeqIndex, SequenceStats, WaveletTrie,
 };
 use wt_baselines::{BTreeIndex, DictSequence, NaiveSeq};
 use wt_bench::{bits_per, Table};

@@ -8,7 +8,7 @@
 //! * Append (append-only) flat; Insert/Delete (dynamic) ~log n.
 
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
-use wavelet_trie::{AppendWaveletTrie, BitString, DynamicWaveletTrie, SequenceOps, WaveletTrie};
+use wavelet_trie::{AppendWaveletTrie, BitString, DynamicWaveletTrie, SeqIndex, WaveletTrie};
 use wt_bench::{fmt_ns, time_per_op_ns, Table};
 use wt_workloads::{url_log, UrlLogConfig};
 

@@ -13,6 +13,7 @@
 //! | `alphabet_report` | E9 | dynamic alphabet vs rebuild/two-copy baselines |
 //! | `dynamic_report` | E11 | §4.2 hot-path throughput → `BENCH_dynamic.json` |
 //! | `static_report` | E12 | §2/§3 static-stack throughput → `BENCH_static.json` |
+//! | `store_report` | E13 | tiered store: freeze vs rebuild, query overhead → `BENCH_store.json` |
 //! | `figures` | Fig. 1–3 | structural reproduction, ASCII-rendered |
 //!
 //! Criterion micro-benchmarks covering the same operations live under

@@ -268,6 +268,21 @@ impl AppendBitVec {
         self.sealed.push(SealedBlock { ones_before, rrr });
     }
 
+    /// Appends every bit to `out`: sealed blocks decode sequentially
+    /// (amortized O(1)/bit, unlike random-access `get`), the in-flight
+    /// seal and the tail copy word-wise. Bulk export for the structural
+    /// freeze path.
+    pub fn append_into(&self, out: &mut crate::RawBitVec) {
+        for blk in &self.sealed {
+            let raw = blk.rrr.to_raw();
+            out.extend_from_range(&raw, 0, raw.len());
+        }
+        if let Some(p) = &self.pending {
+            out.extend_from_range(&p.frozen.bits, 0, p.frozen.bits.len());
+        }
+        out.extend_from_range(&self.tail.bits, 0, self.tail.bits.len());
+    }
+
     /// Ones before the region (pending + tail) that follows sealed blocks.
     #[inline]
     fn ones_before_pending(&self) -> usize {

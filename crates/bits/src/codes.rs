@@ -52,7 +52,7 @@ pub fn delta_encode(out: &mut RawBitVec, x: u64) {
 
 /// A cursor for sequentially decoding codes out of a [`RawBitVec`].
 ///
-/// All reads go through a 64-bit lookahead word ([`Self::peek_word`])
+/// All reads go through a 64-bit lookahead word (`peek_word`)
 /// assembled straight from the backing words, so a unary prefix is decoded
 /// with one `trailing_zeros` instead of a bit-at-a-time loop and a whole
 /// γ code usually costs a single peek. The same word-level discipline pays

@@ -52,6 +52,14 @@ impl OffsetBitVec {
     pub fn implicit_len(&self) -> usize {
         self.implicit_len
     }
+
+    /// Appends every bit to `out`: the implicit run goes word-wise, the
+    /// explicit suffix via [`AppendBitVec::append_into`]'s sequential
+    /// block decode. Bulk export for the structural freeze path.
+    pub fn append_into(&self, out: &mut crate::RawBitVec) {
+        out.push_run(self.implicit_bit, self.implicit_len);
+        self.rest.append_into(out);
+    }
 }
 
 impl BitAccess for OffsetBitVec {

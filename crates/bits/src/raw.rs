@@ -192,6 +192,22 @@ impl RawBitVec {
         Self::mask_tail(&mut self.words, self.len);
     }
 
+    /// Appends `n` copies of `bit`, one word at a time.
+    pub fn push_run(&mut self, bit: bool, n: usize) {
+        let word = if bit { !0u64 } else { 0u64 };
+        let mut rem = n;
+        while rem > 0 {
+            let w = rem.min(64);
+            let v = if w == 64 {
+                word
+            } else {
+                word & ((1u64 << w) - 1)
+            };
+            self.push_bits(v, w);
+            rem -= w;
+        }
+    }
+
     /// Appends `other[start..start+len]` to `self`.
     pub fn extend_from_range(&mut self, other: &RawBitVec, start: usize, len: usize) {
         assert!(start + len <= other.len);

@@ -14,7 +14,7 @@
 //!   O(|s| + h_s log n).
 
 use crate::nav::TrieNav;
-use wt_bits::{BitAccess, BitRank, BitSelect, DynamicBitVec, OffsetBitVec, SpaceUsage};
+use wt_bits::{BitAccess, BitRank, BitSelect, DynamicBitVec, OffsetBitVec, RawBitVec, SpaceUsage};
 use wt_trie::{BitStr, BitString, PrefixFreeViolation};
 
 /// Bitvector interface required by the dynamic Wavelet Trie nodes.
@@ -34,6 +34,21 @@ pub trait WtBitVec: Default + SpaceUsage {
     /// `i == len` (which is the only position the append-only Wavelet Trie
     /// ever produces).
     fn wt_insert(&mut self, i: usize, bit: bool);
+    /// Appends all bits to a raw bitvector — the bulk-export half of the
+    /// structural freeze. Implementations should copy run- or word-wise
+    /// where the representation allows it.
+    fn wt_append_into(&self, out: &mut RawBitVec);
+    /// Builds from a bit iterator — the bulk-import half of `thaw`.
+    /// The default pushes one bit at a time; backends with a faster bulk
+    /// constructor should override.
+    fn wt_from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = Self::default();
+        for b in iter {
+            let n = v.wt_len();
+            v.wt_insert(n, b);
+        }
+        v
+    }
 }
 
 /// Deletion support (fully dynamic bitvectors only).
@@ -62,6 +77,9 @@ impl WtBitVec for OffsetBitVec {
         assert_eq!(i, self.len(), "append-only bitvector: insert at end only");
         self.push(bit);
     }
+    fn wt_append_into(&self, out: &mut RawBitVec) {
+        self.append_into(out);
+    }
 }
 
 impl WtBitVec for DynamicBitVec {
@@ -83,6 +101,14 @@ impl WtBitVec for DynamicBitVec {
     fn wt_insert(&mut self, i: usize, bit: bool) {
         self.insert(i, bit);
     }
+    fn wt_append_into(&self, out: &mut RawBitVec) {
+        for b in self.iter() {
+            out.push(b);
+        }
+    }
+    fn wt_from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        DynamicBitVec::from_bits(iter)
+    }
 }
 
 impl WtBitVecRemove for DynamicBitVec {
@@ -95,20 +121,20 @@ impl WtBitVecRemove for DynamicBitVec {
 /// `|Sset| = Θ(n)` alphabets (common for URL logs) the per-leaf footprint
 /// is a large part of the `PT = O(|Sset|·w)` term of Theorems 4.3/4.4.
 #[derive(Clone, Debug)]
-struct Internal<B> {
-    label: BitString,
-    bv: B,
-    children: [Node<B>; 2],
+pub(crate) struct Internal<B> {
+    pub(crate) label: BitString,
+    pub(crate) bv: B,
+    pub(crate) children: [Node<B>; 2],
 }
 
 #[derive(Clone, Debug)]
-enum Node<B> {
+pub(crate) enum Node<B> {
     Internal(Box<Internal<B>>),
     Leaf(BitString),
 }
 
 impl<B> Node<B> {
-    fn label(&self) -> &BitString {
+    pub(crate) fn label(&self) -> &BitString {
         match self {
             Node::Internal(i) => &i.label,
             Node::Leaf(label) => label,
@@ -126,8 +152,8 @@ impl<B> Node<B> {
 /// The dynamic Wavelet Trie engine (§4), generic over the node bitvector.
 #[derive(Clone, Debug, Default)]
 pub struct DynWaveletTrie<B: WtBitVec> {
-    root: Option<Node<B>>,
-    len: usize,
+    pub(crate) root: Option<Node<B>>,
+    pub(crate) len: usize,
 }
 
 impl<B: WtBitVec> DynWaveletTrie<B> {
@@ -474,7 +500,7 @@ pub type DynamicWaveletTrie = DynWaveletTrie<DynamicBitVec>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::SequenceOps;
+    use crate::ops::{SeqIndex, SequenceOps};
 
     fn bs(s: &str) -> BitString {
         BitString::parse(s)

@@ -15,7 +15,7 @@
 use crate::binarize::FixedWidthMsb;
 use crate::dyn_wt::DynamicWaveletTrie;
 use crate::nav::TrieNav;
-use crate::ops::SequenceOps;
+use crate::ops::{SeqIndex, SequenceOps};
 use wt_bits::SpaceUsage;
 use wt_trie::BitString;
 

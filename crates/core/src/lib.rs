@@ -46,8 +46,17 @@
 //! Numeric sequences over a huge universe get the §6 treatment in
 //! [`RandomizedWaveletTree`]: multiplicative hashing keeps the trie height
 //! logarithmic in the *working* alphabet with high probability.
+//!
+//! Queries live on the **object-safe** [`SeqIndex`] trait (so mixed
+//! static/dynamic structures fit behind `Box<dyn SeqIndex>`), with
+//! [`SequenceOps`] adding the borrowing iterators. The [`convert`] module
+//! converts between the variants structurally: [`DynWaveletTrie::freeze`]
+//! seals a dynamic trie into the static form with one walk (no
+//! re-insertion), [`static_wt::WaveletTrie::thaw`] melts it back — the
+//! machinery behind the `wt-store` tiered store.
 
 pub mod binarize;
+pub mod convert;
 pub mod dyn_wt;
 pub mod hashed;
 pub mod nav;
@@ -60,7 +69,7 @@ pub mod text;
 pub use dyn_wt::{AppendWaveletTrie, DynWaveletTrie, DynamicWaveletTrie, WtBitVec, WtBitVecRemove};
 pub use hashed::RandomizedWaveletTree;
 pub use nav::TrieNav;
-pub use ops::SequenceOps;
+pub use ops::{SeqIndex, SequenceOps};
 pub use range::RangeIter;
 pub use static_wt::{StaticSpaceBreakdown, WaveletTrie};
 pub use stats::SequenceStats;

@@ -306,6 +306,39 @@ pub(crate) fn select_prefix<T: TrieNav>(t: &T, p: BitStr<'_>, idx: usize) -> Opt
     }
 }
 
+/// Whether `s` can join the sequence without violating prefix-freeness
+/// (§3): `s` must not be a proper prefix of a stored string, and no stored
+/// string may be a proper prefix of `s`. Exact duplicates are admitted.
+/// One descent, O(|s| + h_s).
+pub(crate) fn admits<T: TrieNav>(t: &T, s: BitStr<'_>) -> bool {
+    let mut v = match t.nav_root() {
+        Some(v) => v,
+        None => return true,
+    };
+    let mut delta = 0usize;
+    loop {
+        let rest = s.suffix(delta);
+        let l = t.nav_label_lcp(v, rest);
+        if l < t.nav_label_len(v) {
+            // Mismatch (or exhaustion of s) strictly inside the label: fine
+            // unless s ends here, which would make it a proper prefix.
+            return delta + l < s.len();
+        }
+        delta += l;
+        if t.nav_is_leaf(v) {
+            // Reached a stored string: s must equal it exactly.
+            return delta == s.len();
+        }
+        if delta == s.len() {
+            // s is a proper prefix of every string below this node.
+            return false;
+        }
+        let b = s.get(delta);
+        delta += 1;
+        v = t.nav_child(v, b);
+    }
+}
+
 /// Number of occurrences of `s` in the whole sequence.
 pub(crate) fn count<T: TrieNav>(t: &T, s: BitStr<'_>) -> usize {
     rank(t, s, t.nav_len())

@@ -73,6 +73,46 @@ pub struct StaticSpaceBreakdown {
     pub hn_bits: usize,
 }
 
+/// The preorder raw material of a static Wavelet Trie, produced either by
+/// the recursive builder or by the structural freeze of a dynamic trie
+/// (`crate::convert`), and assembled into the succinct directories by
+/// [`WaveletTrie::assemble`].
+pub(crate) struct StaticParts {
+    pub n: usize,
+    /// Preorder node degrees (0 or 2).
+    pub degrees: Vec<usize>,
+    /// Concatenated node labels, preorder.
+    pub labels: RawBitVec,
+    /// Per-node label lengths, preorder.
+    pub label_lens: Vec<u64>,
+    /// Concatenated internal-node bitvectors, preorder.
+    pub bv_concat: RawBitVec,
+    /// Per-internal-node bitvector lengths.
+    pub bv_lens: Vec<u64>,
+    /// Per-internal-node ones counts.
+    pub bv_ones: Vec<u64>,
+    /// `n·H0(S)` in bits.
+    pub nh0_bits: f64,
+    /// Length of the root label.
+    pub root_label_len: usize,
+}
+
+impl StaticParts {
+    pub(crate) fn empty() -> Self {
+        StaticParts {
+            n: 0,
+            degrees: Vec::new(),
+            labels: RawBitVec::new(),
+            label_lens: Vec::new(),
+            bv_concat: RawBitVec::new(),
+            bv_lens: Vec::new(),
+            bv_ones: Vec::new(),
+            nh0_bits: 0.0,
+            root_label_len: 0,
+        }
+    }
+}
+
 impl WaveletTrie {
     /// Builds the Wavelet Trie of a sequence of binary strings
     /// (Definition 3.1).
@@ -89,22 +129,29 @@ impl WaveletTrie {
         Self::build(&strings)
     }
 
-    /// Builds from a slice of binary strings.
-    pub fn build(strings: &[BitString]) -> Result<Self, PrefixFreeViolation> {
-        let n = strings.len();
+    /// Builds from a slice of (owned or borrowed) binary strings without
+    /// copying any of them.
+    pub fn build<S: std::borrow::Borrow<BitString>>(
+        strings: &[S],
+    ) -> Result<Self, PrefixFreeViolation> {
+        Self::from_views(strings.iter().map(|s| s.borrow().as_bitstr()))
+    }
+
+    /// Builds from borrowed bit-string views. This is the zero-copy entry
+    /// point: the builder reads every input in place and copies each bit
+    /// exactly once, into the label / bitvector concatenations.
+    pub fn from_views<'a, I>(seq: I) -> Result<Self, PrefixFreeViolation>
+    where
+        I: IntoIterator<Item = BitStr<'a>>,
+    {
+        let views: Vec<BitStr<'a>> = seq.into_iter().collect();
+        Self::build_views(&views)
+    }
+
+    fn build_views(views: &[BitStr<'_>]) -> Result<Self, PrefixFreeViolation> {
+        let n = views.len();
         if n == 0 {
-            return Ok(WaveletTrie {
-                n: 0,
-                tree: Dfuds::from_degrees(std::iter::empty()),
-                labels: RawBitVec::new(),
-                label_bounds: EliasFano::prefix_sums(std::iter::empty()),
-                internal: Fid::new(RawBitVec::new()),
-                bvs: RrrVector::new(&RawBitVec::new()),
-                bv_bounds: EliasFano::prefix_sums(std::iter::empty()),
-                bv_ones: EliasFano::prefix_sums(std::iter::empty()),
-                nh0_bits: 0.0,
-                root_label_len: 0,
-            });
+            return Ok(Self::assemble(StaticParts::empty()));
         }
         struct Frame {
             idx: Vec<u32>,
@@ -115,22 +162,24 @@ impl WaveletTrie {
             delta: 0,
         }];
         let mut degrees: Vec<usize> = Vec::new();
-        // (string id, bit offset, length) of each node's label, preorder.
-        let mut label_refs: Vec<(u32, usize, usize)> = Vec::new();
+        let mut labels = RawBitVec::new();
+        let mut label_lens: Vec<u64> = Vec::new();
         let mut bv_concat = RawBitVec::new();
         let mut bv_lens: Vec<u64> = Vec::new();
         let mut bv_ones_per_node: Vec<u64> = Vec::new();
         let mut nh0 = 0.0f64;
         let mut root_label_len = 0usize;
         let mut first_node = true;
+        // Frames pop in preorder (child 1 is pushed below child 0), so the
+        // label and bitvector concatenations can be emitted on the fly.
         while let Some(Frame { idx, delta }) = stack.pop() {
             let first_id = idx[0] as usize;
-            let first = strings[first_id].suffix(delta);
+            let first = views[first_id].suffix(delta);
             let mut l = first.len();
             let mut min_rem = first.len();
             let mut max_rem = first.len();
             for &i in &idx[1..] {
-                let other = strings[i as usize].suffix(delta);
+                let other = views[i as usize].suffix(delta);
                 min_rem = min_rem.min(other.len());
                 max_rem = max_rem.max(other.len());
                 if l > 0 {
@@ -148,22 +197,22 @@ impl WaveletTrie {
                 root_label_len = l;
                 first_node = false;
             }
+            first.prefix(l).append_into(&mut labels);
+            label_lens.push(l as u64);
             if l == min_rem {
                 // All strings identical from delta: a leaf (Def. 3.1 case i).
                 degrees.push(0);
-                label_refs.push((first_id as u32, delta, l));
                 let c = idx.len() as f64;
                 nh0 += c * (n as f64 / c).log2();
                 continue;
             }
             // Internal node (Def. 3.1 case ii).
             degrees.push(2);
-            label_refs.push((first_id as u32, delta, l));
             let branch = delta + l;
             let mut idx0 = Vec::new();
             let mut idx1 = Vec::new();
             for &i in &idx {
-                let b = strings[i as usize].get(branch);
+                let b = views[i as usize].get(branch);
                 bv_concat.push(b);
                 if b {
                     idx1.push(i);
@@ -184,17 +233,40 @@ impl WaveletTrie {
                 delta: branch + 1,
             });
         }
+        Ok(Self::assemble(StaticParts {
+            n,
+            degrees,
+            labels,
+            label_lens,
+            bv_concat,
+            bv_lens,
+            bv_ones: bv_ones_per_node,
+            nh0_bits: nh0,
+            root_label_len,
+        }))
+    }
+
+    /// Compresses preorder raw parts into the succinct representation of
+    /// Theorem 3.7 (DFUDS + Elias–Fano delimiters + RRR bitvectors).
+    pub(crate) fn assemble(parts: StaticParts) -> Self {
+        let StaticParts {
+            n,
+            degrees,
+            labels,
+            label_lens,
+            bv_concat,
+            bv_lens,
+            bv_ones,
+            nh0_bits,
+            root_label_len,
+        } = parts;
         let tree = Dfuds::from_degrees(degrees.iter().copied());
-        let mut labels = RawBitVec::new();
-        for &(id, start, len) in &label_refs {
-            labels.extend_from_range(strings[id as usize].raw(), start, len);
-        }
-        let label_bounds = EliasFano::prefix_sums(label_refs.iter().map(|&(_, _, l)| l as u64));
+        let label_bounds = EliasFano::prefix_sums(label_lens.iter().copied());
         let internal = Fid::from_bits(degrees.iter().map(|&d| d == 2));
         let bv_bounds = EliasFano::prefix_sums(bv_lens.iter().copied());
-        let bv_ones = EliasFano::prefix_sums(bv_ones_per_node.iter().copied());
+        let bv_ones = EliasFano::prefix_sums(bv_ones.iter().copied());
         let bvs = RrrVector::new(&bv_concat);
-        Ok(WaveletTrie {
+        WaveletTrie {
             n,
             tree,
             labels,
@@ -203,9 +275,9 @@ impl WaveletTrie {
             bvs,
             bv_bounds,
             bv_ones,
-            nh0_bits: nh0,
+            nh0_bits,
             root_label_len,
-        })
+        }
     }
 
     /// Sequence length n.
@@ -246,6 +318,13 @@ impl WaveletTrie {
         let pid = self.tree.preorder(v);
         debug_assert!(self.internal.get(pid));
         self.internal.rank1(pid)
+    }
+
+    /// Bits of internal node `v`'s bitvector, in order (used by `thaw`,
+    /// which wants the segment bounds resolved once, not per bit).
+    pub(crate) fn bv_bits(&self, v: usize) -> impl Iterator<Item = bool> + '_ {
+        let (s, e) = self.bv_range(v);
+        (s..e).map(move |i| self.bvs.get(i))
     }
 
     /// Measured vs. information-theoretic space (experiment E4).
@@ -417,7 +496,7 @@ impl TrieNav for WaveletTrie {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::SequenceOps;
+    use crate::ops::{SeqIndex, SequenceOps};
 
     fn bs(s: &str) -> BitString {
         BitString::parse(s)
@@ -524,7 +603,7 @@ mod tests {
 
     #[test]
     fn empty_sequence() {
-        let wt = WaveletTrie::build(&[]).unwrap();
+        let wt = WaveletTrie::build::<BitString>(&[]).unwrap();
         assert!(wt.is_empty());
         assert_eq!(wt.rank(bs("01").as_bitstr(), 0), 0);
         assert_eq!(wt.select(bs("01").as_bitstr(), 0), None);

@@ -111,7 +111,7 @@ pub fn average_height_of(seq: &[BitString]) -> f64 {
         return 0.0;
     }
     // Build a static Wavelet Trie and read h̃ = Σ|β| / n off it.
-    use crate::ops::SequenceOps;
+    use crate::ops::SeqIndex;
     match crate::static_wt::WaveletTrie::build(seq) {
         Ok(wt) => wt.avg_height(),
         Err(_) => f64::NAN,
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn string_depth_matches_height() {
-        use crate::ops::SequenceOps;
+        use crate::ops::SeqIndex;
         let seq: Vec<BitString> = ["0001", "0011", "0100", "00100"]
             .iter()
             .map(|s| bs(s))

@@ -13,8 +13,7 @@
 
 use crate::binarize::{Coder, NinthBitCoder};
 use crate::dyn_wt::{AppendWaveletTrie, DynamicWaveletTrie};
-use crate::ops::SequenceOps;
-use crate::range::RangeIter;
+use crate::ops::SeqIndex;
 use crate::static_wt::WaveletTrie;
 use wt_bits::SpaceUsage;
 use wt_trie::BitString;
@@ -23,6 +22,15 @@ fn decode_owned(coder: &NinthBitCoder, b: &BitString) -> Vec<u8> {
     coder.decode(b.as_bitstr())
 }
 
+/// Generates the byte-string query surface of a facade struct with fields
+/// `inner` (any [`SeqIndex`]) and `coder` (a copyable
+/// [`crate::binarize::Coder`]).
+///
+/// Exported so downstream crates pairing a new backend with the default
+/// coder (e.g. the tiered store's `TieredStrings`) reuse the exact same
+/// surface instead of re-typing it. Expansion sites must have
+/// [`SeqIndex`] and [`crate::binarize::Coder`] in scope.
+#[macro_export]
 macro_rules! string_facade_queries {
     () => {
         /// Number of strings stored.
@@ -42,7 +50,7 @@ macro_rules! string_facade_queries {
 
         /// `Access(pos)` as raw bytes.
         pub fn get_bytes(&self, pos: usize) -> Vec<u8> {
-            decode_owned(&self.coder, &self.inner.access(pos))
+            self.coder.decode(self.inner.access(pos).as_bitstr())
         }
 
         /// `Access(pos)` as UTF-8 (lossy).
@@ -104,7 +112,7 @@ macro_rules! string_facade_queries {
                 .into_iter()
                 .map(|(b, c)| {
                     (
-                        String::from_utf8_lossy(&decode_owned(&self.coder, &b)).into_owned(),
+                        String::from_utf8_lossy(&self.coder.decode(b.as_bitstr())).into_owned(),
                         c,
                     )
                 })
@@ -127,7 +135,7 @@ macro_rules! string_facade_queries {
                 .into_iter()
                 .map(|(b, c)| {
                     (
-                        String::from_utf8_lossy(&decode_owned(&self.coder, &b)).into_owned(),
+                        String::from_utf8_lossy(&self.coder.decode(b.as_bitstr())).into_owned(),
                         c,
                     )
                 })
@@ -158,7 +166,7 @@ macro_rules! string_facade_queries {
         pub fn range_majority(&self, l: usize, r: usize) -> Option<(String, usize)> {
             self.inner.range_majority(l, r).map(|(b, c)| {
                 (
-                    String::from_utf8_lossy(&decode_owned(&self.coder, &b)).into_owned(),
+                    String::from_utf8_lossy(&self.coder.decode(b.as_bitstr())).into_owned(),
                     c,
                 )
             })
@@ -171,7 +179,7 @@ macro_rules! string_facade_queries {
                 .into_iter()
                 .map(|(b, c)| {
                     (
-                        String::from_utf8_lossy(&decode_owned(&self.coder, &b)).into_owned(),
+                        String::from_utf8_lossy(&self.coder.decode(b.as_bitstr())).into_owned(),
                         c,
                     )
                 })
@@ -182,8 +190,8 @@ macro_rules! string_facade_queries {
         pub fn iter_range(&self, l: usize, r: usize) -> impl Iterator<Item = String> + '_ {
             let coder = self.coder;
             self.inner
-                .iter_range(l, r)
-                .map(move |b| String::from_utf8_lossy(&decode_owned(&coder, &b)).into_owned())
+                .iter_range_boxed(l, r)
+                .map(move |b| String::from_utf8_lossy(&coder.decode(b.as_bitstr())).into_owned())
         }
 
         /// Trie height.
@@ -314,9 +322,67 @@ impl SpaceUsage for DynamicStrings {
     }
 }
 
-/// Silences the unused-import lint for `RangeIter` used only in docs.
-#[allow(unused)]
-fn _doc_refs(_: RangeIter<'_, WaveletTrie>) {}
+// --- bulk loading -----------------------------------------------------------
+//
+// `Extend` + `FromIterator` for every facade, so `collect()` and
+// `extend(...)` replace hand-written append loops.
+
+impl<S: AsRef<[u8]>> Extend<S> for AppendLog {
+    fn extend<I: IntoIterator<Item = S>>(&mut self, iter: I) {
+        for s in iter {
+            self.append(s);
+        }
+    }
+}
+
+impl<S: AsRef<[u8]>> FromIterator<S> for AppendLog {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        let mut log = AppendLog::new();
+        log.extend(iter);
+        log
+    }
+}
+
+impl<S: AsRef<[u8]>> Extend<S> for DynamicStrings {
+    fn extend<I: IntoIterator<Item = S>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+impl<S: AsRef<[u8]>> FromIterator<S> for DynamicStrings {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        let mut col = DynamicStrings::new();
+        col.extend(iter);
+        col
+    }
+}
+
+/// Appending to a static index melts it (structural [`WaveletTrie::thaw`]
+/// into the append-only backend), appends, and re-freezes — O(existing
+/// bits + new work), with no per-string re-insertion of the old content.
+impl<S: AsRef<[u8]>> Extend<S> for IndexedStrings {
+    fn extend<I: IntoIterator<Item = S>>(&mut self, iter: I) {
+        let mut iter = iter.into_iter().peekable();
+        if iter.peek().is_none() {
+            return; // don't pay the melt/refreeze cycle for a no-op
+        }
+        let mut melted: AppendWaveletTrie = self.inner.thaw();
+        for s in iter {
+            melted
+                .append(self.coder.encode(s.as_ref()).as_bitstr())
+                .expect("NinthBitCoder output is prefix-free");
+        }
+        self.inner = melted.freeze();
+    }
+}
+
+impl<S: AsRef<[u8]>> FromIterator<S> for IndexedStrings {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Self::build(iter)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -392,6 +458,41 @@ mod tests {
         assert_eq!(col.get_string(6), "");
         assert_eq!(col.count(""), 1);
         assert_eq!(col.remove(6), b"");
+    }
+
+    #[test]
+    fn bulk_loading_impls() {
+        // FromIterator for all three facades.
+        let log: AppendLog = LOG.iter().copied().collect();
+        let col: DynamicStrings = LOG.iter().copied().collect();
+        let idx: IndexedStrings = LOG.iter().copied().collect();
+        for f in [
+            &log.count_prefix("http://a.com/"),
+            &col.count_prefix("http://a.com/"),
+            &idx.count_prefix("http://a.com/"),
+        ] {
+            assert_eq!(*f, 4);
+        }
+        // Extend: dynamic facades append; the static one melts (thaw),
+        // appends, and re-freezes — equal to a from-scratch build.
+        let (a, b) = LOG.split_at(3);
+        let mut log2: AppendLog = a.iter().copied().collect();
+        log2.extend(b.iter().copied());
+        let mut col2: DynamicStrings = a.iter().copied().collect();
+        col2.extend(b.iter().copied());
+        let mut idx2: IndexedStrings = a.iter().copied().collect();
+        idx2.extend(b.iter().copied());
+        for (i, want) in LOG.iter().enumerate() {
+            assert_eq!(&log2.get_string(i), want);
+            assert_eq!(&col2.get_string(i), want);
+            assert_eq!(&idx2.get_string(i), want);
+        }
+        assert_eq!(idx2.distinct_len(), idx.distinct_len());
+        assert_eq!(idx2.count("http://a.com/x"), 3);
+        // Extending an empty static index works too.
+        let mut empty = IndexedStrings::build(Vec::<&str>::new());
+        empty.extend(LOG.iter().copied());
+        assert_eq!(empty.len(), 6);
     }
 
     #[test]

@@ -1,0 +1,758 @@
+//! # wt-store — an LSM-style tiered store over Wavelet Trie segments
+//!
+//! The paper's Table 1 is a tradeoff: the static Wavelet Trie
+//! (Theorem 3.7) is the smallest and fastest to query, while the §4
+//! dynamic variants absorb updates at O(log n) cost per bit. The paper's
+//! own motivating workload — a growing URL log (§1) — wants both at once.
+//! [`TieredStore`] resolves the tension the way log-structured systems do:
+//!
+//! * a **hot tail** ([`wavelet_trie::DynamicWaveletTrie`]) absorbs
+//!   appends/inserts/deletes;
+//! * once the tail reaches `seal_at` strings it is **sealed** into an
+//!   immutable static segment by the structural
+//!   [`wavelet_trie::DynWaveletTrie::freeze`] — a single trie walk, no
+//!   re-insertion of strings;
+//! * an insert/delete that lands inside a sealed segment **melts** just
+//!   that segment back to dynamic form ([`wavelet_trie::WaveletTrie::thaw`]);
+//! * **compaction** merges adjacent small segments (thaw + append +
+//!   freeze) so the segment count stays bounded by `max_sealed`.
+//!
+//! Global positions are routed through an Elias–Fano-backed segment
+//! directory ([`wt_bits::EliasFano`] over the cumulative segment lengths,
+//! rebuilt lazily after mutations). Queries merge per-segment answers:
+//! `rank`/`count` sum across segments, `select` walks segment counts with
+//! early exit, and the §5 analytics (distinct values, majority, frequent)
+//! combine per-segment results exactly — every operation returns the same
+//! answer a single monolithic Wavelet Trie over the concatenated sequence
+//! would (the randomized op-interleave suite pins this against a naive
+//! oracle).
+//!
+//! Heterogeneous segments — static or dynamic — sit behind the object-safe
+//! [`SeqIndex`] trait; the store itself implements [`SeqIndex`] too, so a
+//! `Box<dyn SeqIndex>` may hold a plain trie or a whole tiered store.
+//!
+//! The store keeps the global string set **prefix-free across segments**
+//! (checked per insert with one descent per segment), preserving the §3
+//! invariant the per-segment tries rely on and keeping results identical
+//! to the monolithic equivalent.
+//!
+//! Interior mutability note: the lazily rebuilt directory lives in a
+//! [`RefCell`], so `TieredStore` is `Send` but not `Sync`; shard per
+//! thread (the intended deployment) or wrap in a lock.
+
+pub mod text;
+
+pub use text::TieredStrings;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use wavelet_trie::{DynamicWaveletTrie, SeqIndex, WaveletTrie};
+use wt_bits::{EliasFano, SpaceUsage};
+use wt_trie::{BitStr, BitString, PrefixFreeViolation};
+
+/// Tiering policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Hot-segment size (in strings) that triggers an automatic seal.
+    pub seal_at: usize,
+    /// Compaction keeps at most this many sealed segments by merging the
+    /// adjacent pair with the smallest combined length.
+    pub max_sealed: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            seal_at: 8192,
+            max_sealed: 8,
+        }
+    }
+}
+
+/// One tier member: an immutable sealed segment or a hot dynamic one.
+#[derive(Clone, Debug)]
+enum Segment {
+    Sealed(Box<WaveletTrie>),
+    Hot(DynamicWaveletTrie),
+}
+
+impl Segment {
+    /// The object-safe query view — static and dynamic segments are
+    /// indistinguishable to the read path.
+    fn index(&self) -> &dyn SeqIndex {
+        match self {
+            Segment::Sealed(s) => s.as_ref(),
+            Segment::Hot(h) => h,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Segment::Sealed(s) => s.len(),
+            Segment::Hot(h) => h.len(),
+        }
+    }
+
+    fn is_sealed(&self) -> bool {
+        matches!(self, Segment::Sealed(_))
+    }
+}
+
+/// A tiered indexed sequence of binary strings (see the crate docs).
+///
+/// The segment list always ends in a hot tail (possibly empty); sealed
+/// segments and melted middles precede it in sequence order.
+#[derive(Clone, Debug)]
+pub struct TieredStore {
+    segments: Vec<Segment>,
+    len: usize,
+    config: StoreConfig,
+    /// Elias–Fano over cumulative segment lengths (`segments.len() + 1`
+    /// values starting at 0); rebuilt lazily after any mutation.
+    directory: RefCell<Option<EliasFano>>,
+}
+
+impl Default for TieredStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TieredStore {
+    /// An empty store with the default policy.
+    pub fn new() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// An empty store with an explicit policy.
+    pub fn with_config(config: StoreConfig) -> Self {
+        TieredStore {
+            segments: vec![Segment::Hot(DynamicWaveletTrie::new())],
+            len: 0,
+            config,
+            directory: RefCell::new(None),
+        }
+    }
+
+    /// Number of strings stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Total number of segments (including the hot tail).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of sealed (static) segments.
+    pub fn sealed_segments(&self) -> usize {
+        self.segments.iter().filter(|g| g.is_sealed()).count()
+    }
+
+    /// Lengths of the segments, in sequence order.
+    pub fn segment_lens(&self) -> Vec<usize> {
+        self.segments.iter().map(|g| g.len()).collect()
+    }
+
+    /// Object-safe view of segment `i` (sequence order).
+    pub fn segment(&self, i: usize) -> &dyn SeqIndex {
+        self.segments[i].index()
+    }
+
+    /// Iterates the segments as object-safe indexes, in sequence order.
+    pub fn segment_indexes(&self) -> impl Iterator<Item = &dyn SeqIndex> {
+        self.segments.iter().map(|g| g.index())
+    }
+
+    // --- mutation ----------------------------------------------------------
+
+    /// Appends `s` at the end (the hot tail), sealing/compacting per the
+    /// policy afterwards.
+    ///
+    /// # Errors
+    /// [`PrefixFreeViolation`] if `s` would break the global prefix-free
+    /// invariant; the store is unchanged in that case.
+    pub fn append(&mut self, s: BitStr<'_>) -> Result<(), PrefixFreeViolation> {
+        let n = self.len;
+        self.insert(s, n)
+    }
+
+    /// Inserts `s` immediately before global position `pos`. An insert
+    /// into a sealed segment melts that segment back to dynamic form.
+    ///
+    /// # Errors
+    /// [`PrefixFreeViolation`] if `s` would break the global prefix-free
+    /// invariant; the store is unchanged in that case.
+    ///
+    /// # Panics
+    /// If `pos > len()`.
+    pub fn insert(&mut self, s: BitStr<'_>, pos: usize) -> Result<(), PrefixFreeViolation> {
+        assert!(pos <= self.len, "insert position out of bounds");
+        if !self.segments.iter().all(|g| g.index().admits(s)) {
+            return Err(PrefixFreeViolation);
+        }
+        let (seg, off) = self.locate_for_insert(pos);
+        self.melt(seg);
+        match &mut self.segments[seg] {
+            Segment::Hot(h) => h.insert(s, off).expect("pre-checked by admits"),
+            Segment::Sealed(_) => unreachable!("melted above"),
+        }
+        self.len += 1;
+        *self.directory.get_mut() = None;
+        self.roll();
+        Ok(())
+    }
+
+    /// Removes and returns the string at global position `pos`, melting
+    /// the owning segment if it was sealed.
+    ///
+    /// # Panics
+    /// If `pos >= len()`.
+    pub fn delete(&mut self, pos: usize) -> BitString {
+        assert!(pos < self.len, "delete position out of bounds");
+        let (seg, off) = self.locate(pos);
+        self.melt(seg);
+        let out = match &mut self.segments[seg] {
+            Segment::Hot(h) => h.delete(off),
+            Segment::Sealed(_) => unreachable!("melted above"),
+        };
+        self.len -= 1;
+        if self.segments[seg].len() == 0 && seg + 1 != self.segments.len() {
+            self.segments.remove(seg);
+        }
+        *self.directory.get_mut() = None;
+        out
+    }
+
+    /// Seals every hot segment (structural freeze) and starts a fresh hot
+    /// tail. Never merges; call [`TieredStore::compact`] for that.
+    pub fn seal(&mut self) {
+        for seg in self.segments.iter_mut() {
+            if let Segment::Hot(h) = seg {
+                if !h.is_empty() {
+                    *seg = Segment::Sealed(Box::new(h.freeze()));
+                }
+            }
+        }
+        // The old (now empty) hot tail, if any, is dropped here.
+        self.segments.retain(|g| g.len() > 0);
+        self.segments.push(Segment::Hot(DynamicWaveletTrie::new()));
+        *self.directory.get_mut() = None;
+    }
+
+    /// Freezes melted middle segments and merges adjacent sealed segments
+    /// (thaw + append + freeze, smallest combined length first) until at
+    /// most `max_sealed` sealed segments remain.
+    pub fn compact(&mut self) {
+        let last = self.segments.len() - 1;
+        for seg in self.segments.iter_mut().take(last) {
+            if let Segment::Hot(h) = seg {
+                if !h.is_empty() {
+                    *seg = Segment::Sealed(Box::new(h.freeze()));
+                }
+            }
+        }
+        while self.sealed_segments() > self.config.max_sealed {
+            let best = self
+                .sealed_adjacent_pairs()
+                .min_by_key(|&(_, combined)| combined)
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => self.merge_pair(i),
+                None => break,
+            }
+        }
+        *self.directory.get_mut() = None;
+    }
+
+    /// Adjacent `(i, i+1)` sealed pairs with their combined length.
+    fn sealed_adjacent_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.segments
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0].is_sealed() && w[1].is_sealed())
+            .map(|(i, w)| (i, w[0].len() + w[1].len()))
+    }
+
+    /// Merges sealed segments `i` and `i + 1`: thaw the left one into the
+    /// append-only backend, append the right one's strings, freeze.
+    fn merge_pair(&mut self, i: usize) {
+        let merged = {
+            let (Segment::Sealed(a), Segment::Sealed(b)) =
+                (&self.segments[i], &self.segments[i + 1])
+            else {
+                unreachable!("merge_pair called on non-sealed segments");
+            };
+            let mut melted: wavelet_trie::AppendWaveletTrie = a.thaw();
+            for s in b.iter_seq_boxed() {
+                melted
+                    .append(s.as_bitstr())
+                    .expect("segments are jointly prefix-free");
+            }
+            melted.freeze()
+        };
+        self.segments[i] = Segment::Sealed(Box::new(merged));
+        self.segments.remove(i + 1);
+    }
+
+    /// Melts segment `seg` back to dynamic form if it is sealed.
+    fn melt(&mut self, seg: usize) {
+        if let Segment::Sealed(wt) = &self.segments[seg] {
+            let hot: DynamicWaveletTrie = wt.thaw();
+            self.segments[seg] = Segment::Hot(hot);
+        }
+    }
+
+    /// Policy hook run after every insert: auto-seal once the hot **tail**
+    /// reaches `seal_at`, then bound the sealed-segment count. Melted
+    /// middle segments are deliberately not a trigger — they must stay
+    /// dynamic between edits (re-freezing them on every insert would make
+    /// n middle edits cost O(n · segment bits)); they are re-frozen only
+    /// when a tail roll or an explicit [`TieredStore::seal`] /
+    /// [`TieredStore::compact`] happens.
+    fn roll(&mut self) {
+        let tail_full = matches!(
+            self.segments.last(),
+            Some(Segment::Hot(h)) if h.len() >= self.config.seal_at
+        );
+        if tail_full {
+            self.seal();
+            if self.sealed_segments() > self.config.max_sealed {
+                self.compact();
+            }
+        }
+    }
+
+    // --- position routing --------------------------------------------------
+
+    /// Runs `f` with the Elias–Fano directory over cumulative segment
+    /// lengths, rebuilding it if a mutation invalidated it.
+    fn with_directory<R>(&self, f: impl FnOnce(&EliasFano) -> R) -> R {
+        let mut slot = self.directory.borrow_mut();
+        let ef = slot.get_or_insert_with(|| {
+            EliasFano::prefix_sums(self.segments.iter().map(|g| g.len() as u64))
+        });
+        f(ef)
+    }
+
+    /// Maps a global position (`< len`) to `(segment, local offset)`.
+    fn locate(&self, pos: usize) -> (usize, usize) {
+        debug_assert!(pos < self.len);
+        self.with_directory(|dir| {
+            // Largest cumulative start <= pos; duplicates (empty segments)
+            // resolve to the last, i.e. the non-empty segment owning `pos`.
+            let seg = dir.predecessor_index(pos as u64).expect("cum[0] = 0");
+            let seg = seg.min(self.segments.len() - 1);
+            (seg, pos - dir.get(seg) as usize)
+        })
+    }
+
+    /// Like [`TieredStore::locate`] but accepts `pos == len` (append) and
+    /// redirects boundary positions to a preceding hot segment where that
+    /// avoids melting a sealed one.
+    fn locate_for_insert(&self, pos: usize) -> (usize, usize) {
+        if pos == self.len {
+            let last = self.segments.len() - 1;
+            return (last, self.segments[last].len());
+        }
+        let (seg, off) = self.locate(pos);
+        if off == 0 && seg > 0 && !self.segments[seg - 1].is_sealed() {
+            // Inserting at a boundary: appending to the hot predecessor is
+            // equivalent and cheaper than melting `seg`.
+            return (seg - 1, self.segments[seg - 1].len());
+        }
+        (seg, off)
+    }
+
+    /// `(segment, local l, local r)` for every segment overlapping the
+    /// global range `[l, r)`.
+    fn overlaps(&self, l: usize, r: usize) -> Vec<(usize, usize, usize)> {
+        assert!(l <= r && r <= self.len, "range out of bounds");
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for (i, g) in self.segments.iter().enumerate() {
+            let end = start + g.len();
+            if end > l && start < r {
+                out.push((i, l.max(start) - start, r.min(end) - start));
+            }
+            start = end;
+            if start >= r {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Merges per-segment `(string, count)` lists (each lexicographically
+    /// sorted) into one, summing counts of equal strings.
+    fn merge_counts(
+        &self,
+        l: usize,
+        r: usize,
+        per_segment: impl Fn(&dyn SeqIndex, usize, usize) -> Vec<(BitString, usize)>,
+    ) -> Vec<(BitString, usize)> {
+        let mut merged: BTreeMap<BitString, usize> = BTreeMap::new();
+        for (i, lo, hi) in self.overlaps(l, r) {
+            for (s, c) in per_segment(self.segments[i].index(), lo, hi) {
+                *merged.entry(s).or_insert(0) += c;
+            }
+        }
+        // BitString's Ord is lexicographic with prefixes first — the same
+        // order a single trie's traversal emits.
+        merged.into_iter().collect()
+    }
+}
+
+impl SeqIndex for TieredStore {
+    fn seq_len(&self) -> usize {
+        self.len
+    }
+
+    fn access(&self, pos: usize) -> BitString {
+        assert!(pos < self.len, "Access position out of bounds");
+        let (seg, off) = self.locate(pos);
+        self.segments[seg].index().access(off)
+    }
+
+    fn rank(&self, s: BitStr<'_>, pos: usize) -> usize {
+        assert!(pos <= self.len, "Rank position out of bounds");
+        let mut acc = 0usize;
+        let mut remaining = pos;
+        for g in &self.segments {
+            if remaining == 0 {
+                break;
+            }
+            let l = g.len();
+            if remaining >= l {
+                acc += g.index().count(s);
+                remaining -= l;
+            } else {
+                acc += g.index().rank(s, remaining);
+                break;
+            }
+        }
+        acc
+    }
+
+    fn select(&self, s: BitStr<'_>, idx: usize) -> Option<usize> {
+        let mut idx = idx;
+        let mut base = 0usize;
+        for g in &self.segments {
+            let c = g.index().count(s);
+            if idx < c {
+                return g.index().select(s, idx).map(|p| base + p);
+            }
+            idx -= c;
+            base += g.len();
+        }
+        None
+    }
+
+    fn rank_prefix(&self, p: BitStr<'_>, pos: usize) -> usize {
+        assert!(pos <= self.len, "RankPrefix position out of bounds");
+        let mut acc = 0usize;
+        let mut remaining = pos;
+        for g in &self.segments {
+            if remaining == 0 {
+                break;
+            }
+            let l = g.len();
+            if remaining >= l {
+                acc += g.index().count_prefix(p);
+                remaining -= l;
+            } else {
+                acc += g.index().rank_prefix(p, remaining);
+                break;
+            }
+        }
+        acc
+    }
+
+    fn select_prefix(&self, p: BitStr<'_>, idx: usize) -> Option<usize> {
+        let mut idx = idx;
+        let mut base = 0usize;
+        for g in &self.segments {
+            let c = g.index().count_prefix(p);
+            if idx < c {
+                return g.index().select_prefix(p, idx).map(|q| base + q);
+            }
+            idx -= c;
+            base += g.len();
+        }
+        None
+    }
+
+    fn admits(&self, s: BitStr<'_>) -> bool {
+        self.segments.iter().all(|g| g.index().admits(s))
+    }
+
+    fn distinct_len(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        self.merge_counts(0, self.len, |g, lo, hi| g.distinct_in_range(lo, hi))
+            .len()
+    }
+
+    fn height(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|g| g.index().height())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn total_bitvector_bits(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|g| g.index().total_bitvector_bits())
+            .sum()
+    }
+
+    fn distinct_in_range(&self, l: usize, r: usize) -> Vec<(BitString, usize)> {
+        self.merge_counts(l, r, |g, lo, hi| g.distinct_in_range(lo, hi))
+    }
+
+    fn distinct_in_range_with_prefix(
+        &self,
+        p: BitStr<'_>,
+        l: usize,
+        r: usize,
+    ) -> Vec<(BitString, usize)> {
+        self.merge_counts(l, r, |g, lo, hi| g.distinct_in_range_with_prefix(p, lo, hi))
+    }
+
+    fn distinct_prefixes_in_range(
+        &self,
+        l: usize,
+        r: usize,
+        depth: usize,
+    ) -> Vec<(BitString, usize)> {
+        self.merge_counts(l, r, |g, lo, hi| {
+            g.distinct_prefixes_in_range(lo, hi, depth)
+        })
+    }
+
+    fn range_majority(&self, l: usize, r: usize) -> Option<(BitString, usize)> {
+        assert!(l <= r && r <= self.len, "range out of bounds");
+        if l == r {
+            return None;
+        }
+        // Pigeonhole: a global majority of [l, r) must be a majority of at
+        // least one overlapped part, so per-part majorities are the only
+        // candidates; verify each against the merged count.
+        let total = r - l;
+        for (i, lo, hi) in self.overlaps(l, r) {
+            if let Some((cand, _)) = self.segments[i].index().range_majority(lo, hi) {
+                let c = self.range_count(cand.as_bitstr(), l, r);
+                if 2 * c > total {
+                    return Some((cand, c));
+                }
+            }
+        }
+        None
+    }
+
+    fn range_frequent(&self, l: usize, r: usize, min_count: usize) -> Vec<(BitString, usize)> {
+        assert!(l <= r && r <= self.len, "range out of bounds");
+        let min_count = min_count.max(1);
+        if r - l < min_count {
+            return Vec::new();
+        }
+        // A string can clear the threshold globally while staying below it
+        // in every segment, so enumerate distinct values and filter.
+        self.merge_counts(l, r, |g, lo, hi| g.distinct_in_range(lo, hi))
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .collect()
+    }
+
+    fn iter_range_boxed(&self, l: usize, r: usize) -> Box<dyn Iterator<Item = BitString> + '_> {
+        let parts = self.overlaps(l, r);
+        Box::new(
+            parts
+                .into_iter()
+                .flat_map(move |(i, lo, hi)| self.segments[i].index().iter_range_boxed(lo, hi)),
+        )
+    }
+}
+
+impl SpaceUsage for TieredStore {
+    fn size_bits(&self) -> usize {
+        let segs: usize = self
+            .segments
+            .iter()
+            .map(|g| match g {
+                Segment::Sealed(s) => s.size_bits(),
+                Segment::Hot(h) => h.size_bits(),
+            })
+            .sum();
+        let dir = self
+            .directory
+            .borrow()
+            .as_ref()
+            .map_or(0, |ef| ef.size_bits());
+        segs + dir + 4 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        BitString::parse(s)
+    }
+
+    fn encode(v: u64) -> BitString {
+        BitString::from_bits((0..10).rev().map(move |k| (v >> k) & 1 != 0))
+    }
+
+    fn tiny() -> TieredStore {
+        TieredStore::with_config(StoreConfig {
+            seal_at: 8,
+            max_sealed: 3,
+        })
+    }
+
+    #[test]
+    fn appends_seal_and_compact_automatically() {
+        let mut st = tiny();
+        for i in 0..100u64 {
+            st.append(encode(i % 30).as_bitstr()).unwrap();
+        }
+        assert_eq!(st.len(), 100);
+        // seal_at = 8 ⇒ many seals happened; compaction bounds the count.
+        assert!(st.sealed_segments() <= 3 + 1, "{:?}", st.segment_lens());
+        assert!(st.num_segments() >= 2);
+        for i in 0..100u64 {
+            assert_eq!(st.access(i as usize), encode(i % 30), "access({i})");
+        }
+        let probe = encode(7);
+        assert_eq!(st.count(probe.as_bitstr()), 4); // 7, 37, 67, 97
+        assert_eq!(st.select(probe.as_bitstr(), 2), Some(67));
+        assert_eq!(st.rank(probe.as_bitstr(), 68), 3);
+    }
+
+    #[test]
+    fn inserts_melt_sealed_segments() {
+        let mut st = tiny();
+        for i in 0..32u64 {
+            st.append(encode(i).as_bitstr()).unwrap();
+        }
+        st.seal();
+        let sealed_before = st.sealed_segments();
+        assert!(sealed_before >= 1);
+        // Insert into the middle of a sealed segment.
+        st.insert(encode(40).as_bitstr(), 3).unwrap();
+        assert_eq!(st.access(3), encode(40));
+        assert_eq!(st.access(2), encode(2));
+        assert_eq!(st.access(4), encode(3));
+        assert_eq!(st.len(), 33);
+        // Delete from a sealed segment.
+        let gone = st.delete(3);
+        assert_eq!(gone, encode(40));
+        assert_eq!(st.len(), 32);
+        assert_eq!(st.access(3), encode(3));
+        // compact() re-freezes the melted middles.
+        st.compact();
+        assert_eq!(st.num_segments() - 1, st.sealed_segments());
+    }
+
+    #[test]
+    fn melted_middle_stays_hot_across_edits() {
+        let mut st = tiny();
+        for i in 0..16u64 {
+            st.append(encode(i).as_bitstr()).unwrap();
+        }
+        st.seal();
+        let sealed_before = st.sealed_segments();
+        // Repeated edits at the front: the first melts, the rest must hit
+        // the already-hot segment — no thaw/freeze cycle per insert, and
+        // the melted middle must not trip the auto-seal even though its
+        // length exceeds seal_at.
+        for k in 0..6 {
+            st.insert(encode(30 + k).as_bitstr(), 0).unwrap();
+            st.delete(1);
+        }
+        assert_eq!(st.sealed_segments(), sealed_before - 1, "one melt only");
+        assert_eq!(st.len(), 16);
+        // An explicit compact re-freezes it.
+        st.compact();
+        assert_eq!(st.sealed_segments(), st.num_segments() - 1);
+    }
+
+    #[test]
+    fn global_prefix_freeness_is_enforced() {
+        let mut st = tiny();
+        st.append(bs("0100").as_bitstr()).unwrap();
+        st.seal();
+        // "01" is a prefix of "0100", which lives in a *sealed* segment.
+        assert!(st.append(bs("01").as_bitstr()).is_err());
+        assert!(st.append(bs("01001").as_bitstr()).is_err());
+        assert!(st.append(bs("0100").as_bitstr()).is_ok()); // duplicate
+        assert!(st.append(bs("0111").as_bitstr()).is_ok());
+        assert_eq!(st.len(), 3);
+        assert!(!st.admits(bs("011").as_bitstr()));
+        assert!(st.admits(bs("00").as_bitstr()));
+    }
+
+    #[test]
+    fn boundary_insert_prefers_hot_predecessor() {
+        let mut st = tiny();
+        for i in 0..4u64 {
+            st.append(encode(i).as_bitstr()).unwrap();
+        }
+        // segments: [hot(4)] — insert at 0 stays in the only segment.
+        st.insert(encode(9).as_bitstr(), 0).unwrap();
+        assert_eq!(st.access(0), encode(9));
+        st.seal();
+        // segments: [sealed(5), hot(0)]; insert at len lands in the tail.
+        st.insert(encode(8).as_bitstr(), 5).unwrap();
+        assert_eq!(st.sealed_segments(), 1, "no melt for a tail append");
+        assert_eq!(st.access(5), encode(8));
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let st = TieredStore::new();
+        assert!(st.is_empty());
+        assert_eq!(st.count(bs("01").as_bitstr()), 0);
+        assert_eq!(st.select(bs("01").as_bitstr(), 0), None);
+        assert_eq!(st.distinct_len(), 0);
+        assert_eq!(st.distinct_in_range(0, 0), vec![]);
+        assert_eq!(st.range_majority(0, 0), None);
+        assert_eq!(st.iter_seq_boxed().count(), 0);
+    }
+
+    #[test]
+    fn store_is_object_safe_alongside_plain_tries() {
+        let mut st = tiny();
+        let mut dynamic = DynamicWaveletTrie::new();
+        for i in 0..20u64 {
+            st.append(encode(i % 6).as_bitstr()).unwrap();
+            dynamic.append(encode(i % 6).as_bitstr()).unwrap();
+        }
+        st.seal();
+        let indexes: Vec<Box<dyn SeqIndex>> = vec![Box::new(st), Box::new(dynamic)];
+        for idx in &indexes {
+            assert_eq!(idx.seq_len(), 20);
+            assert_eq!(idx.count(encode(3).as_bitstr()), 3);
+            assert_eq!(idx.count(encode(1).as_bitstr()), 4);
+            assert_eq!(idx.distinct_len(), 6);
+        }
+    }
+}

@@ -261,6 +261,11 @@ impl<'a> BitStr<'a> {
     pub fn to_owned_str(&self) -> BitString {
         BitString::from(*self)
     }
+
+    /// Appends this view's bits to a raw bitvector (word-level copy).
+    pub fn append_into(&self, out: &mut RawBitVec) {
+        out.extend_from_range(self.bits, self.start, self.len);
+    }
 }
 
 impl PartialEq for BitStr<'_> {

@@ -2,7 +2,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use wavelet_trie::{BitString, DynamicWaveletTrie, SequenceOps, WaveletTrie};
+use wavelet_trie::{BitString, DynamicWaveletTrie, SeqIndex, WaveletTrie};
 
 fn main() {
     // The sequence of Figure 2: 〈0001, 0011, 0100, 00100, 0100, 00100, 0100〉.

@@ -11,5 +11,6 @@
 pub use wavelet_trie;
 pub use wt_baselines as baselines;
 pub use wt_bits as bits;
+pub use wt_store as store;
 pub use wt_trie as trie;
 pub use wt_workloads as workloads;

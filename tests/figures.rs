@@ -6,7 +6,7 @@
 //! * Figure 3 — the node split performed when inserting a new string.
 
 use wavelet_trie::{
-    AppendWaveletTrie, BitString, DynamicWaveletTrie, SequenceOps, TrieNav, WaveletTrie,
+    AppendWaveletTrie, BitString, DynamicWaveletTrie, SeqIndex, TrieNav, WaveletTrie,
 };
 use wt_baselines::IntWaveletTree;
 

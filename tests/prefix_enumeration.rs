@@ -3,7 +3,7 @@
 //! efficiently the distinct hostnames in a given time range").
 
 use std::collections::BTreeMap;
-use wavelet_trie::{AppendLog, BitString, DynamicWaveletTrie, SequenceOps, WaveletTrie};
+use wavelet_trie::{AppendLog, BitString, DynamicWaveletTrie, SeqIndex, WaveletTrie};
 use wt_workloads::{url_log, UrlLogConfig};
 
 fn bs(s: &str) -> BitString {

@@ -12,7 +12,7 @@
 //!   strategy harness.
 
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
-use wavelet_trie::{DynamicStrings, IndexedStrings, SequenceOps, WaveletTrie};
+use wavelet_trie::{DynamicStrings, IndexedStrings, SeqIndex, WaveletTrie};
 use wt_baselines::NaiveSeq;
 use wt_bits::{AppendBitVec, BitAccess, BitRank, BitSelect, DynamicBitVec, EliasFano};
 use wt_trie::BitString;

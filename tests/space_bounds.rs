@@ -4,7 +4,7 @@
 
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
 use wavelet_trie::{
-    AppendWaveletTrie, BitString, DynamicWaveletTrie, SequenceOps, SequenceStats, WaveletTrie,
+    AppendWaveletTrie, BitString, DynamicWaveletTrie, SeqIndex, SequenceStats, WaveletTrie,
 };
 use wt_baselines::BTreeIndex;
 use wt_bits::SpaceUsage;
