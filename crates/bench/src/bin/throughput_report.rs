@@ -1,0 +1,375 @@
+//! E14: the throughput engine — batched interleaved queries and scoped-
+//! thread parallel construction.
+//!
+//! PR 3 drove single-query latency to the memory wall: a static descent is
+//! a chain of *dependent* cache misses, so serving heavy traffic is bounded
+//! by misses-per-query. This report measures the two ways the engine buys
+//! throughput back:
+//!
+//! * **batched queries** — `access_batch` / `rank_batch` /
+//!   `count_prefix_batch` advance N independent descents level-by-level in
+//!   lockstep with software prefetch, so N dependent miss chains become
+//!   ~depth rounds of overlapped misses. Measured against the scalar-loop
+//!   baseline at batch sizes 1/8/64/512, on the static trie and the tiered
+//!   store.
+//! * **parallel construction** — `build`/`freeze` scaling at 1/2/4 scoped
+//!   worker threads (subtrie tasks + chunk-parallel RRR encode). Note the
+//!   `cores` field: thread scaling is only meaningful when the host grants
+//!   more than one CPU.
+//!
+//! Writes machine-readable `BENCH_throughput.json`.
+//!
+//! Usage: `throughput_report [--quick] [--out PATH]`
+
+use wavelet_trie::binarize::{Coder, NinthBitCoder};
+use wavelet_trie::{BitStr, BitString, DynamicWaveletTrie, SeqIndex, WaveletTrie};
+use wt_bench::{fmt_ns, time_per_op_ns, xorshift, Table};
+use wt_store::{StoreConfig, TieredStore};
+use wt_workloads::urls::{url_log, UrlLogConfig};
+use wt_workloads::words::word_text;
+
+/// One measured query series.
+struct QuerySeries {
+    workload: &'static str,
+    op: &'static str,
+    batch: usize,
+    n: usize,
+    ns_per_op: f64,
+    scalar_ns_per_op: f64,
+}
+
+/// One measured construction point.
+struct BuildSeries {
+    workload: &'static str,
+    op: &'static str,
+    threads: usize,
+    n: usize,
+    ms: f64,
+}
+
+const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+/// Probe-pool size: large enough that consecutive batches don't re-walk
+/// the same cache-resident paths.
+const POOL: usize = 8192;
+
+fn encode_all(strings: &[String]) -> Vec<BitString> {
+    let coder = NinthBitCoder;
+    strings.iter().map(|s| coder.encode(s.as_bytes())).collect()
+}
+
+/// Fixed-width random integers: a near-distinct alphabet, so the trie is
+/// large and every level of every descent is an uncached pointer chase —
+/// the adversarial regime for single-query latency and the best case for
+/// interleaving.
+fn random_ints(n: usize, width: usize, seed: u64) -> Vec<BitString> {
+    let mut next = xorshift(seed);
+    (0..n)
+        .map(|_| {
+            let v = next() & ((1u64 << width) - 1);
+            BitString::from_bits((0..width).rev().map(move |k| (v >> k) & 1 != 0))
+        })
+        .collect()
+}
+
+/// Measures one op's scalar baseline and batched throughput on `idx`.
+#[allow(clippy::too_many_arguments)]
+fn bench_op(
+    workload: &'static str,
+    op: &'static str,
+    n: usize,
+    iters: usize,
+    scalar: &dyn Fn(usize),
+    batched: &dyn Fn(usize, usize),
+    t: &Table,
+    out: &mut Vec<QuerySeries>,
+) {
+    let mut at = 0usize;
+    let scalar_ns = time_per_op_ns(iters, 5, || {
+        scalar(at % POOL);
+        at += 1;
+    });
+    let mut row: Vec<String> = vec![workload.into(), op.into(), fmt_ns(scalar_ns)];
+    for &bs in &BATCH_SIZES {
+        let calls = (iters / bs).max(4);
+        let mut at = 0usize;
+        let ns = time_per_op_ns(calls, 5, || {
+            batched(at % POOL, bs);
+            at += bs;
+        }) / bs as f64;
+        row.push(format!("{} ({:.2}x)", fmt_ns(ns), scalar_ns / ns));
+        out.push(QuerySeries {
+            workload,
+            op,
+            batch: bs,
+            n,
+            ns_per_op: ns,
+            scalar_ns_per_op: scalar_ns,
+        });
+    }
+    let cells: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
+    t.row(&cells);
+}
+
+/// Batched-query section for one backend over one workload.
+fn bench_queries(
+    workload: &'static str,
+    idx: &dyn SeqIndex,
+    encoded: &[BitString],
+    iters: usize,
+    t: &Table,
+    out: &mut Vec<QuerySeries>,
+) {
+    let n = idx.seq_len();
+    let mut next = xorshift(0x9E3779B9);
+    // Pre-generated probe pools (wrapping slices keep batch windows cheap).
+    let positions: Vec<usize> = (0..POOL + 512)
+        .map(|_| (next() % n as u64) as usize)
+        .collect();
+    let rank_q: Vec<(BitStr<'_>, usize)> = (0..POOL + 512)
+        .map(|_| {
+            let s = &encoded[(next() % n as u64) as usize];
+            (s.as_bitstr(), (next() % (n as u64 + 1)) as usize)
+        })
+        .collect();
+    // Byte-aligned prefixes (~12 bytes) of stored strings: the common
+    // "count URLs under this folder" probe.
+    let prefixes: Vec<BitStr<'_>> = (0..POOL + 512)
+        .map(|_| {
+            let s = &encoded[(next() % n as u64) as usize];
+            s.as_bitstr().prefix((s.len() / 9).min(12) * 9)
+        })
+        .collect();
+    bench_op(
+        workload,
+        "access",
+        n,
+        iters,
+        &|k| {
+            std::hint::black_box(idx.access(positions[k]));
+        },
+        &|k, bs| {
+            std::hint::black_box(idx.access_batch(&positions[k..k + bs]));
+        },
+        t,
+        out,
+    );
+    bench_op(
+        workload,
+        "rank",
+        n,
+        iters,
+        &|k| {
+            let (s, pos) = rank_q[k];
+            std::hint::black_box(idx.rank(s, pos));
+        },
+        &|k, bs| {
+            std::hint::black_box(idx.rank_batch(&rank_q[k..k + bs]));
+        },
+        t,
+        out,
+    );
+    bench_op(
+        workload,
+        "count_prefix",
+        n,
+        iters,
+        &|k| {
+            std::hint::black_box(idx.count_prefix(prefixes[k]));
+        },
+        &|k, bs| {
+            std::hint::black_box(idx.count_prefix_batch(&prefixes[k..k + bs]));
+        },
+        t,
+        out,
+    );
+}
+
+fn bench_query_section(quick: bool, out: &mut Vec<QuerySeries>) {
+    // Full mode sizes the working sets past the last-level cache (~100MB
+    // on big server parts): throughput batching hides *memory* latency,
+    // so the interesting regime is the one where descents actually miss.
+    let (n_url, n_words, n_ints) = if quick {
+        (100_000, 100_000, 200_000)
+    } else {
+        (5_000_000, 1_000_000, 12_000_000)
+    };
+    let iters = if quick { 20_000 } else { 30_000 };
+    println!("== batched interleaved queries (pool {POOL}) ==\n");
+    let headers: Vec<String> = ["workload", "op", "scalar"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(BATCH_SIZES.iter().map(|b| format!("batch {b}")))
+        .collect();
+    let hcells: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let t = Table::new(&hcells, &[12, 12, 9, 16, 16, 16, 16]);
+    let url_cfg = UrlLogConfig {
+        hosts: 2000,
+        ..UrlLogConfig::default()
+    };
+    let workloads: [(&'static str, Vec<BitString>); 3] = [
+        ("url", encode_all(&url_log(n_url, url_cfg, 5))),
+        ("words", encode_all(&word_text(n_words, 2000, 7))),
+        ("ints", random_ints(n_ints, 28, 99)),
+    ];
+    for (name, encoded) in &workloads {
+        let wt = WaveletTrie::build(encoded).expect("prefix-free inputs");
+        bench_queries(name, &wt, encoded, iters, &t, out);
+    }
+    // The tiered store routes the same batches through its segment
+    // directory: 4-ish sealed segments + a hot tail.
+    let encoded = &workloads[0].1;
+    let mut store = TieredStore::with_config(StoreConfig {
+        seal_at: n_url / 5,
+        max_sealed: 8,
+    });
+    for s in encoded.iter() {
+        store.append(s.as_bitstr()).expect("prefix-free");
+    }
+    bench_queries("url_tiered", &store, encoded, iters / 2, &t, out);
+    println!();
+}
+
+fn bench_construction(quick: bool, out: &mut Vec<BuildSeries>) {
+    let n_build = if quick { 60_000 } else { 400_000 };
+    let n_freeze = if quick { 60_000 } else { 200_000 };
+    println!("== construction scaling (scoped worker threads) ==\n");
+    let t = Table::new(
+        &["op", "workload", "threads", "wall", "vs 1T"],
+        &[8, 10, 7, 10, 7],
+    );
+    let urls = url_log(n_build, UrlLogConfig::default(), 11);
+    let encoded = encode_all(&urls);
+    let mut base_ms = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t0 = std::time::Instant::now();
+            let wt = WaveletTrie::build_with_threads(&encoded, threads).expect("prefix-free");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(wt.len());
+            best = best.min(ms);
+        }
+        if threads == 1 {
+            base_ms = best;
+        }
+        t.row(&[
+            "build",
+            "url",
+            &threads.to_string(),
+            &format!("{best:.0}ms"),
+            &format!("{:.2}x", base_ms / best),
+        ]);
+        out.push(BuildSeries {
+            workload: "url",
+            op: "build",
+            threads,
+            n: n_build,
+            ms: best,
+        });
+    }
+    let mut dynamic = DynamicWaveletTrie::new();
+    for s in encoded.iter().take(n_freeze) {
+        dynamic.append(s.as_bitstr()).expect("prefix-free");
+    }
+    let mut base_ms = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            let wt = dynamic.freeze_with_threads(threads);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(wt.len());
+            best = best.min(ms);
+        }
+        if threads == 1 {
+            base_ms = best;
+        }
+        t.row(&[
+            "freeze",
+            "url",
+            &threads.to_string(),
+            &format!("{best:.0}ms"),
+            &format!("{:.2}x", base_ms / best),
+        ]);
+        out.push(BuildSeries {
+            workload: "url",
+            op: "freeze",
+            threads,
+            n: n_freeze,
+            ms: best,
+        });
+    }
+    println!();
+}
+
+fn write_json(path: &str, mode: &str, queries: &[QuerySeries], builds: &[BuildSeries]) {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"throughput_report\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str("  \"batch_results\": [\n");
+    for (i, q) in queries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"op\": \"{}\", \"batch\": {}, \"n\": {}, \
+             \"ns_per_op\": {:.1}, \"scalar_ns_per_op\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            q.workload,
+            q.op,
+            q.batch,
+            q.n,
+            q.ns_per_op,
+            q.scalar_ns_per_op,
+            q.scalar_ns_per_op / q.ns_per_op,
+            if i + 1 < queries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"build_results\": [\n");
+    let base = |op: &str| {
+        builds
+            .iter()
+            .find(|b| b.op == op && b.threads == 1)
+            .map(|b| b.ms)
+            .unwrap_or(0.0)
+    };
+    for (i, b) in builds.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"op\": \"{}\", \"threads\": {}, \"n\": {}, \
+             \"ms\": {:.1}, \"speedup_vs_1t\": {:.2}}}{}\n",
+            b.workload,
+            b.op,
+            b.threads,
+            b.n,
+            b.ms,
+            base(b.op) / b.ms,
+            if i + 1 < builds.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write BENCH_throughput.json");
+    println!(
+        "wrote {path} ({} query series, {} build points, {cores} core(s))",
+        queries.len(),
+        builds.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let mode = if quick { "quick" } else { "full" };
+    let mut queries = Vec::new();
+    let mut builds = Vec::new();
+    bench_query_section(quick, &mut queries);
+    bench_construction(quick, &mut builds);
+    write_json(&out_path, mode, &queries, &builds);
+}

@@ -4,6 +4,43 @@
 //! in-word select, answered by popcount-guided binary search over word
 //! halves — branch-light and table-free.
 
+/// Lanes per software-pipeline chunk in the `*_batch` entry points:
+/// enough in-flight lanes to cover a DRAM miss, small enough that the
+/// chunk's prefetched lines all survive until their resolve round. Every
+/// batched kernel in this crate chunks at this width — prefetching a
+/// whole unbounded batch up front would evict its own early lines before
+/// the resolve loop reaches them.
+pub(crate) const PIPELINE_LANES: usize = 64;
+
+/// Hints the CPU to pull the cache line holding `*p` towards L1.
+///
+/// This is the latency-hiding primitive behind every `*_batch` entry point:
+/// a batched query issues the prefetches for all lanes' directory words
+/// before touching any payload, so the misses of independent lanes overlap
+/// instead of serializing. A prefetch is a pure hint — it never faults, so
+/// slightly-out-of-range addresses (e.g. one past a directory) are fine —
+/// and on architectures without a stable intrinsic it compiles to nothing.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it performs no memory access that could
+    // fault, regardless of the pointer's validity.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM is a hint instruction; it never faults.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) p as *const u8,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
 /// Position (0-based) of the `k`-th (0-based) set bit of `x`.
 ///
 /// # Panics

@@ -6,6 +6,7 @@
 //! Elias–Fano is the standard engineered equivalent with the same
 //! `B(m, n) + o(n)` space and O(1) access (DESIGN.md substitution #1).
 
+use crate::broadword::PIPELINE_LANES;
 use crate::{BitSelect, Fid, RawBitVec, SpaceUsage};
 
 /// A compressed monotone non-decreasing sequence of `u64`s with O(1) access.
@@ -141,6 +142,15 @@ impl EliasFano {
             self.n
         );
         let p = self.high.select1(i).expect("directory");
+        self.pair_from_first(i, p)
+    }
+
+    /// Second half of [`EliasFano::get_pair`]: both values given the
+    /// already-resolved position `p` of the `i`-th upper-bits one (split
+    /// out so the batched entry point can resolve all lanes' selects in a
+    /// pipelined round first).
+    #[inline]
+    fn pair_from_first(&self, i: usize, p: usize) -> (u64, u64) {
         let words = self.high.raw().words();
         let mut w = (p + 1) / 64;
         let mut cur = words[w] & (!0u64 << ((p + 1) % 64));
@@ -167,6 +177,78 @@ impl EliasFano {
                 (hi0 << self.low_width) | self.low_of(i),
                 (hi1 << self.low_width) | self.low_of(i + 1),
             )
+        }
+    }
+
+    /// Hints the CPU towards the directory and payload words `get(i)` /
+    /// `get_pair(i)` will touch: the upper-bits select window and the
+    /// low-bits word. Issued for all lanes of a batch up front so the
+    /// misses of independent lanes overlap.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        if self.low_width != 0 {
+            self.low.prefetch(i * self.low_width);
+        }
+        self.high.prefetch_select1(i);
+    }
+
+    /// Batched [`EliasFano::get`]: all lanes' upper-bit selects run through
+    /// the pipelined [`Fid::select1_batch`], with the low-bits words
+    /// prefetched up front — so a batch pays overlapped misses instead of
+    /// one serialized select chain per lane.
+    ///
+    /// # Panics
+    /// If the slices differ in length or any index is out of bounds.
+    pub fn get_batch(&self, idxs: &[usize], out: &mut [u64]) {
+        assert_eq!(idxs.len(), out.len(), "batch length mismatch");
+        let mut sel = [0usize; PIPELINE_LANES];
+        for (chunk, outs) in idxs
+            .chunks(PIPELINE_LANES)
+            .zip(out.chunks_mut(PIPELINE_LANES))
+        {
+            // Per-chunk prefetch so a huge batch cannot evict its own
+            // early low-bits lines before the resolve below reaches them.
+            for &i in chunk {
+                assert!(i < self.n, "EliasFano index {i} out of bounds");
+                if self.low_width != 0 {
+                    self.low.prefetch(i * self.low_width);
+                }
+            }
+            self.high.select1_batch(chunk, &mut sel[..chunk.len()]);
+            for ((o, &i), &p) in outs.iter_mut().zip(chunk).zip(&sel) {
+                let hi = (p - i) as u64;
+                *o = if self.low_width == 0 {
+                    hi
+                } else {
+                    (hi << self.low_width) | self.low_of(i)
+                };
+            }
+        }
+    }
+
+    /// Batched [`EliasFano::get_pair`] — the segment-bounds access pattern
+    /// of a group descent: all lanes' `[start, end)` pairs with the
+    /// upper-bit selects pipelined across lanes.
+    ///
+    /// # Panics
+    /// If the slices differ in length or any `i + 1` is out of bounds.
+    pub fn get_pair_batch(&self, idxs: &[usize], out: &mut [(u64, u64)]) {
+        assert_eq!(idxs.len(), out.len(), "batch length mismatch");
+        let mut sel = [0usize; PIPELINE_LANES];
+        for (chunk, outs) in idxs
+            .chunks(PIPELINE_LANES)
+            .zip(out.chunks_mut(PIPELINE_LANES))
+        {
+            for &i in chunk {
+                assert!(i + 1 < self.n, "EliasFano pair index {i} out of bounds");
+                if self.low_width != 0 {
+                    self.low.prefetch(i * self.low_width);
+                }
+            }
+            self.high.select1_batch(chunk, &mut sel[..chunk.len()]);
+            for ((o, &i), &p) in outs.iter_mut().zip(chunk).zip(&sel) {
+                *o = self.pair_from_first(i, p);
+            }
         }
     }
 

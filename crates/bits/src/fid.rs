@@ -6,14 +6,21 @@
 //! This is the *uncompressed* FID; the compressed counterpart is
 //! [`crate::RrrVector`] (§2 of the paper, "Bitvectors and FIDs").
 
-use crate::broadword::{count_bit_in_word, select_bit_in_word, select_block};
+use crate::broadword::{
+    count_bit_in_word, prefetch_read, select_bit_in_word, select_block, PIPELINE_LANES,
+};
 use crate::{RawBitVec, SpaceUsage};
 
 /// Bits covered by one rank superblock (8 words).
 const BLOCK_BITS: usize = 512;
 const WORDS_PER_BLOCK: usize = BLOCK_BITS / 64;
-/// One select hint is stored for every `SELECT_SAMPLE` set (resp. unset) bits.
-const SELECT_SAMPLE: usize = 8192;
+/// One select hint is stored for every `SELECT_SAMPLE` set (resp. unset)
+/// bits. 1024 pins the binary-search window to ≤ 3 blocks (32 bits of hint
+/// per 1024 target bits ≈ 0.03 bits/bit of overhead) — selects are the
+/// inner loop of every Elias–Fano delimiter probe on the Wavelet-Trie
+/// descent path, where the old 8192-sample windows made the search and
+/// scan the dominant per-level compute.
+const SELECT_SAMPLE: usize = 1024;
 
 /// Read-only positional access to a sequence of bits.
 pub trait BitAccess {
@@ -163,9 +170,154 @@ impl Fid {
         }
     }
 
+    /// Hints the CPU to load the rank directory entries and data word a
+    /// `rank`/`get` at position `i` will touch. Issued for every lane of a
+    /// batch before any lane resolves, so the misses overlap.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        let block = i / BLOCK_BITS;
+        prefetch_read(self.block_rank.as_ptr().wrapping_add(block));
+        prefetch_read(self.sub_rank.as_ptr().wrapping_add(block));
+        self.bits.prefetch(i);
+    }
+
+    /// Hints the CPU towards the select-hint entry and the first candidate
+    /// block a `select1(k)` will inspect (approximate: the binary search may
+    /// touch further directory words, but the hint entry pins its range).
+    #[inline]
+    pub fn prefetch_select1(&self, k: usize) {
+        if let Some(&b) = self.hints1.get(k / SELECT_SAMPLE) {
+            let b = b as usize;
+            prefetch_read(self.block_rank.as_ptr().wrapping_add(b));
+            self.bits.prefetch(b * BLOCK_BITS);
+        }
+    }
+
+    /// Batched [`BitRank::rank1`]: per 64-lane chunk, prefetches every
+    /// lane's directory words, then resolves — chunked so a huge batch
+    /// cannot evict its own early prefetches before their resolve round.
+    /// Results are identical to the scalar calls.
+    ///
+    /// # Panics
+    /// If the slices differ in length or any position exceeds `len()`.
+    pub fn rank1_batch(&self, positions: &[usize], out: &mut [usize]) {
+        assert_eq!(positions.len(), out.len(), "batch length mismatch");
+        for (chunk, outs) in positions
+            .chunks(PIPELINE_LANES)
+            .zip(out.chunks_mut(PIPELINE_LANES))
+        {
+            for &i in chunk {
+                assert!(i <= self.bits.len(), "rank index {i} out of bounds");
+                self.prefetch(i);
+            }
+            for (o, &i) in outs.iter_mut().zip(chunk) {
+                *o = self.rank1(i);
+            }
+        }
+    }
+
+    /// Batched `select1` over in-bounds ranks, software-pipelined in three
+    /// phases per chunk of lanes: prefetch every lane's hint window of the
+    /// block-rank directory, then binary-search each lane's block (the
+    /// window is now resident) while prefetching that block's data words,
+    /// then scan. This is the staged core under the Elias–Fano batch entry
+    /// points — a scalar EF probe serializes two to three misses that this
+    /// pipeline overlaps across lanes.
+    ///
+    /// # Panics
+    /// If the slices differ in length or any `k >= count_ones()`.
+    pub fn select1_batch(&self, ks: &[usize], out: &mut [usize]) {
+        assert_eq!(ks.len(), out.len(), "batch length mismatch");
+        let mut range = [(0usize, 0usize); PIPELINE_LANES];
+        let mut blk = [0usize; PIPELINE_LANES];
+        for (chunk, outs) in ks
+            .chunks(PIPELINE_LANES)
+            .zip(out.chunks_mut(PIPELINE_LANES))
+        {
+            for (r, &k) in range.iter_mut().zip(chunk) {
+                assert!(k < self.ones, "select1 rank {k} out of bounds");
+                let hi = k / SELECT_SAMPLE;
+                let lo_block = self.hints1[hi] as usize;
+                let hi_block = self
+                    .hints1
+                    .get(hi + 1)
+                    .map(|&b| b as usize + 1)
+                    .unwrap_or(self.block_rank.len() - 1);
+                // The whole window the binary search can touch (8 u64
+                // directory entries per line; cap the round for very
+                // sparse vectors with wide windows).
+                let mut b = lo_block;
+                let mut budget = 8;
+                while b <= hi_block && budget > 0 {
+                    prefetch_read(self.block_rank.as_ptr().wrapping_add(b));
+                    b += 8;
+                    budget -= 1;
+                }
+                *r = (lo_block, hi_block);
+            }
+            for ((b, &(lo, hi)), &k) in blk.iter_mut().zip(&range).zip(chunk) {
+                let block = select_block(lo, hi, k, |blk| self.block_rank[blk] as usize);
+                // The resolve round reads the sub-rank word plus one data
+                // word somewhere in the block's two cache lines.
+                prefetch_read(self.sub_rank.as_ptr().wrapping_add(block));
+                self.bits.prefetch(block * BLOCK_BITS);
+                self.bits.prefetch(block * BLOCK_BITS + BLOCK_BITS - 64);
+                *b = block;
+            }
+            for ((o, &block), &k) in outs.iter_mut().zip(&blk).zip(chunk) {
+                *o = self.select1_in_block(block, k - self.block_rank[block] as usize);
+            }
+        }
+    }
+
+    /// Batched [`BitAccess::get`] with the same chunked
+    /// prefetch-then-resolve shape as [`Fid::rank1_batch`].
+    pub fn get_batch(&self, positions: &[usize], out: &mut [bool]) {
+        assert_eq!(positions.len(), out.len(), "batch length mismatch");
+        for (chunk, outs) in positions
+            .chunks(PIPELINE_LANES)
+            .zip(out.chunks_mut(PIPELINE_LANES))
+        {
+            for &i in chunk {
+                assert!(i < self.bits.len(), "bit index {i} out of bounds");
+                self.bits.prefetch(i);
+            }
+            for (o, &i) in outs.iter_mut().zip(chunk) {
+                *o = self.bits.get(i);
+            }
+        }
+    }
+
     #[inline]
     fn zeros_before_block(&self, blk: usize) -> usize {
         (blk * BLOCK_BITS).min(self.bits.len()) - self.block_rank[blk] as usize
+    }
+
+    /// Resolves the `remaining`-th one inside `block` with **no word
+    /// scan**: the rank9 sub-rank word pins the target word with seven
+    /// in-register compares, so only that one data word is loaded. Safe
+    /// for ones regardless of padding (padding bits are zero).
+    ///
+    /// Requires the block to actually contain the target.
+    #[inline]
+    fn select1_in_block(&self, block: usize, remaining: usize) -> usize {
+        let packed = self.sub_rank[block];
+        let mut w = 0usize;
+        for t in 1..WORDS_PER_BLOCK {
+            let before = ((packed >> (9 * (t - 1))) & 0x1FF) as usize;
+            w += (before <= remaining) as usize;
+        }
+        let before = if w == 0 {
+            0
+        } else {
+            ((packed >> (9 * (w - 1))) & 0x1FF) as usize
+        };
+        let word_idx = block * WORDS_PER_BLOCK + w;
+        let word = self.bits.word(word_idx);
+        let pos = word_idx * 64
+            + crate::broadword::select_in_word(word, (remaining - before) as u32) as usize;
+        debug_assert!(pos < self.bits.len());
+        pos
     }
 
     /// Shared select kernel: `bit` chooses ones/zeros.
@@ -194,8 +346,12 @@ impl Fid {
             }
         };
         let block = select_block(lo_block, hi_block, k, count_before);
+        if bit {
+            return Some(self.select1_in_block(block, k - count_before(block)));
+        }
         let mut remaining = (k - count_before(block)) as u32;
-        // Scan the (at most 8) words of the block.
+        // Zeros: scan the (at most 8) words of the block — the sub-rank
+        // jump would miscount the zero-padding of a final partial word.
         for w in 0..WORDS_PER_BLOCK {
             let word_idx = block * WORDS_PER_BLOCK + w;
             let word = self.bits.word(word_idx);

@@ -309,6 +309,12 @@ impl RawBitVec {
         self.words.get(i).copied().unwrap_or(0)
     }
 
+    /// Hints the CPU to load the word holding bit `i` (no-op past the end).
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        crate::broadword::prefetch_read(self.words.as_ptr().wrapping_add(i / 64));
+    }
+
     /// Iterates over all bits.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| unsafe { self.get_unchecked(i) })

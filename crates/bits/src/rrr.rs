@@ -14,7 +14,7 @@
 //! needs, and select starts from a sampled hint directory instead of a
 //! global binary search (DESIGN.md substitutions #1/#9).
 
-use crate::broadword::select_block;
+use crate::broadword::{prefetch_read, select_block, PIPELINE_LANES as BATCH_LANES};
 use crate::{BitAccess, BitRank, BitSelect, RawBitVec, SpaceUsage};
 
 /// Bits per RRR block; 63 so class+offset arithmetic fits in `u64`.
@@ -85,6 +85,12 @@ fn block_rank_offset(word: u64, c: u32) -> u64 {
 }
 
 /// Decodes a combinatorial offset back into the 63-bit block.
+///
+/// The walk is branchless: each step turns the `off >= C(i, remaining)`
+/// comparison into a mask instead of a 50%-unpredictable branch, so the
+/// loop retires at the dependency-chain rate (a table load + subtract per
+/// bit) rather than the mispredict rate — the decode loops are the
+/// single hottest compute in every dense-bitvector query.
 #[inline]
 fn block_unrank_offset(mut off: u64, c: u32) -> u64 {
     let mut word = 0u64;
@@ -93,11 +99,11 @@ fn block_unrank_offset(mut off: u64, c: u32) -> u64 {
     while remaining > 0 {
         i -= 1;
         let b = BINOM[i][remaining];
-        if off >= b {
-            off -= b;
-            word |= 1u64 << i;
-            remaining -= 1;
-        }
+        let take = (off >= b) as u64;
+        let mask = take.wrapping_neg();
+        off -= b & mask;
+        word |= (1u64 << i) & mask;
+        remaining -= take as usize;
     }
     debug_assert_eq!(off, 0);
     word
@@ -211,13 +217,17 @@ impl RrrVector {
         let mut offv = self.offsets.get_bits(ptr, w);
         let mut remaining = c as usize;
         let mut i = RRR_BLOCK_BITS;
-        while remaining > 0 && i > off {
+        // Branchless walk (see `block_unrank_offset`) with a *fixed* trip
+        // count: once `remaining` hits 0 the residual offset is 0 and
+        // every further step is a no-op (`0 >= C(i,0) = 1` is false), so
+        // dropping the data-dependent exit leaves the loop perfectly
+        // predicted.
+        while i > off {
             i -= 1;
             let b = BINOM[i][remaining];
-            if offv >= b {
-                offv -= b;
-                remaining -= 1;
-            }
+            let take = (offv >= b) as u64;
+            offv -= b & take.wrapping_neg();
+            remaining -= take as usize;
         }
         remaining
     }
@@ -254,18 +264,18 @@ impl RrrVector {
         let mut i = valid;
         if bit {
             // The k-th one from the bottom is the (c − k)-th produced by
-            // the top-down decode.
+            // the top-down decode. Branchless walk (see
+            // `block_unrank_offset`); only the exit test branches.
             let mut to_produce = c as usize - k;
             loop {
                 i -= 1;
                 let b = BINOM[i][remaining];
-                if offv >= b {
-                    offv -= b;
-                    remaining -= 1;
-                    to_produce -= 1;
-                    if to_produce == 0 {
-                        return i;
-                    }
+                let take = (offv >= b) as u64;
+                offv -= b & take.wrapping_neg();
+                remaining -= take as usize;
+                to_produce -= take as usize;
+                if to_produce == 0 {
+                    return i;
                 }
             }
         } else {
@@ -273,17 +283,29 @@ impl RrrVector {
             loop {
                 i -= 1;
                 let b = BINOM[i][remaining];
-                if remaining > 0 && offv >= b {
-                    offv -= b;
-                    remaining -= 1;
-                } else {
-                    to_produce -= 1;
-                    if to_produce == 0 {
-                        return i;
-                    }
+                let take = ((remaining > 0) & (offv >= b)) as usize;
+                offv -= b & (take as u64).wrapping_neg();
+                remaining -= take;
+                to_produce -= 1 - take;
+                if to_produce == 0 {
+                    return i;
                 }
             }
         }
+    }
+
+    /// Hints the CPU towards the directory words a query at bit `i` will
+    /// touch first: the superblock entry and the packed class words. The
+    /// offset stream is prefetched in a second round once `locate_block`
+    /// has resolved the pointer (see the `*_batch` entry points).
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        let sb = (i / RRR_BLOCK_BITS) / SB_BLOCKS;
+        prefetch_read(self.sb.as_ptr().wrapping_add(sb));
+        let class_bit = sb * SB_BLOCKS * CLASS_BITS;
+        self.classes.prefetch(class_bit);
+        // The 16 packed classes can straddle a second word.
+        self.classes.prefetch(class_bit + 64);
     }
 
     /// Fused `get(i)` / `rank1(i)`: one block locate and one partial decode
@@ -293,7 +315,13 @@ impl RrrVector {
         assert!(i < self.len);
         let block = i / RRR_BLOCK_BITS;
         let (rank, ptr, c) = self.locate_block(block);
-        let pos = i % RRR_BLOCK_BITS;
+        self.finish_get_rank1(i % RRR_BLOCK_BITS, rank, ptr, c)
+    }
+
+    /// Second half of [`RrrVector::get_rank1`], split from the block locate
+    /// so batched queries can interleave the two phases across lanes.
+    #[inline]
+    fn finish_get_rank1(&self, pos: usize, rank: usize, ptr: usize, c: u32) -> (bool, usize) {
         let w = OFFSET_WIDTH[c as usize] as usize;
         if w == 0 {
             return if c == 0 {
@@ -309,23 +337,121 @@ impl RrrVector {
         }
         let mut remaining = c as usize;
         let mut i = RRR_BLOCK_BITS;
-        while remaining > 0 && i > pos + 1 {
+        // Branchless fixed-count walk (see `block_rank_low`).
+        while i > pos + 1 {
             i -= 1;
             let b = BINOM[i][remaining];
-            if offv >= b {
-                offv -= b;
-                remaining -= 1;
-            }
+            let take = (offv >= b) as u64;
+            offv -= b & take.wrapping_neg();
+            remaining -= take as usize;
         }
-        if remaining == 0 {
-            return (false, rank);
-        }
+        // With `remaining == 0` the residual offset is 0 and
+        // `C(pos, 0) = 1`, so `bit` correctly resolves to false.
         let bit = offv >= BINOM[pos][remaining];
         (bit, rank + remaining - bit as usize)
     }
 
     fn n_blocks(&self) -> usize {
         self.len.div_ceil(RRR_BLOCK_BITS)
+    }
+
+    /// Locates the block of bit `i` and prefetches its offset word — the
+    /// shared middle phase of every batched query.
+    #[inline]
+    fn locate_prefetch(&self, i: usize) -> (usize, usize, u32) {
+        let (rank, ptr, c) = self.locate_block(i / RRR_BLOCK_BITS);
+        if OFFSET_WIDTH[c as usize] > 0 {
+            self.offsets.prefetch(ptr);
+        }
+        (rank, ptr, c)
+    }
+
+    /// Batched fused `get`/`rank1` over up to arbitrarily many positions.
+    ///
+    /// Runs in three software-pipelined phases per chunk of lanes:
+    /// prefetch every lane's superblock entry and class words, then locate
+    /// every block (classes now resident) while prefetching its offset
+    /// word, then decode — so the per-lane dependent miss chain
+    /// (superblock → classes → offsets) turns into three rounds of
+    /// overlapped misses. Results are bit-identical to scalar calls.
+    ///
+    /// # Panics
+    /// If the slices differ in length or any position is `>= len()`.
+    pub fn get_rank1_batch(&self, positions: &[usize], out: &mut [(bool, usize)]) {
+        assert_eq!(positions.len(), out.len(), "batch length mismatch");
+        let mut loc = [(0usize, 0usize, 0u32); BATCH_LANES];
+        for (chunk, outs) in positions
+            .chunks(BATCH_LANES)
+            .zip(out.chunks_mut(BATCH_LANES))
+        {
+            for &i in chunk {
+                assert!(i < self.len);
+                self.prefetch(i);
+            }
+            for (l, &i) in loc.iter_mut().zip(chunk) {
+                *l = self.locate_prefetch(i);
+            }
+            for ((o, &i), &(rank, ptr, c)) in outs.iter_mut().zip(chunk).zip(&loc) {
+                *o = self.finish_get_rank1(i % RRR_BLOCK_BITS, rank, ptr, c);
+            }
+        }
+    }
+
+    /// Batched [`BitRank::rank1`] with the same pipeline as
+    /// [`RrrVector::get_rank1_batch`]. Positions may equal `len()`.
+    pub fn rank1_batch(&self, positions: &[usize], out: &mut [usize]) {
+        assert_eq!(positions.len(), out.len(), "batch length mismatch");
+        let mut loc = [(0usize, 0usize, 0u32); BATCH_LANES];
+        for (chunk, outs) in positions
+            .chunks(BATCH_LANES)
+            .zip(out.chunks_mut(BATCH_LANES))
+        {
+            for &i in chunk {
+                assert!(i <= self.len);
+                if i < self.len {
+                    self.prefetch(i);
+                }
+            }
+            for (l, &i) in loc.iter_mut().zip(chunk) {
+                if i < self.len {
+                    *l = self.locate_prefetch(i);
+                }
+            }
+            for ((o, &i), &(rank, ptr, c)) in outs.iter_mut().zip(chunk).zip(&loc) {
+                *o = if i == self.len {
+                    self.ones
+                } else {
+                    let off = i % RRR_BLOCK_BITS;
+                    if off == 0 {
+                        rank
+                    } else {
+                        rank + self.block_rank_low(c, ptr, off)
+                    }
+                };
+            }
+        }
+    }
+
+    /// Batched [`BitAccess::get`] with the same pipeline as
+    /// [`RrrVector::get_rank1_batch`].
+    pub fn get_batch(&self, positions: &[usize], out: &mut [bool]) {
+        assert_eq!(positions.len(), out.len(), "batch length mismatch");
+        let mut loc = [(0usize, 0usize, 0u32); BATCH_LANES];
+        for (chunk, outs) in positions
+            .chunks(BATCH_LANES)
+            .zip(out.chunks_mut(BATCH_LANES))
+        {
+            for &i in chunk {
+                assert!(i < self.len);
+                self.prefetch(i);
+            }
+            for (l, &i) in loc.iter_mut().zip(chunk) {
+                *l = self.locate_prefetch(i);
+            }
+            for ((o, &i), &(rank, ptr, c)) in outs.iter_mut().zip(chunk).zip(&loc) {
+                *o = self.finish_get_rank1(i % RRR_BLOCK_BITS, rank, ptr, c).0;
+            }
+        }
     }
 
     #[inline]
@@ -381,6 +507,160 @@ impl RrrVector {
             ptr += OFFSET_WIDTH[c] as usize;
         }
         unreachable!("select directory inconsistent");
+    }
+
+    /// Compresses `bits` with the block encoding spread over `threads`
+    /// scoped worker threads (1 ⇒ the serial [`RrrVector::new`]).
+    ///
+    /// Chunks are aligned to superblock boundaries, so the spliced class /
+    /// offset streams and directory are **bit-identical** to the serial
+    /// construction. This is the heavy phase of the static Wavelet Trie's
+    /// `assemble`, which hands it every node bitvector concatenated.
+    pub fn from_raw_with_threads(bits: &RawBitVec, threads: usize) -> Self {
+        let n_blocks = bits.len().div_ceil(RRR_BLOCK_BITS);
+        let threads = threads.max(1);
+        if threads == 1 || n_blocks < 8 * SB_BLOCKS {
+            return Self::new(bits);
+        }
+        struct Enc {
+            classes: RawBitVec,
+            offsets: RawBitVec,
+            ones: u64,
+            sb_rank: Vec<u64>,
+            sb_ptr: Vec<u64>,
+        }
+        let sb_count = n_blocks.div_ceil(SB_BLOCKS);
+        // A few chunks per worker so uneven densities still balance.
+        let chunk_blocks = sb_count.div_ceil(threads * 4).max(1) * SB_BLOCKS;
+        let n_chunks = n_blocks.div_ceil(chunk_blocks);
+        let encode_chunk = |ci: usize| -> Enc {
+            let b0 = ci * chunk_blocks;
+            let b1 = ((ci + 1) * chunk_blocks).min(n_blocks);
+            let mut classes = RawBitVec::with_capacity((b1 - b0) * CLASS_BITS);
+            let mut offsets = RawBitVec::new();
+            let mut ones = 0u64;
+            let mut sb_rank = Vec::with_capacity((b1 - b0).div_ceil(SB_BLOCKS));
+            let mut sb_ptr = Vec::with_capacity(sb_rank.capacity());
+            for b in b0..b1 {
+                if (b - b0).is_multiple_of(SB_BLOCKS) {
+                    sb_rank.push(ones);
+                    sb_ptr.push(offsets.len() as u64);
+                }
+                let start = b * RRR_BLOCK_BITS;
+                let width = RRR_BLOCK_BITS.min(bits.len() - start);
+                let word = bits.get_bits(start, width);
+                let c = word.count_ones();
+                classes.push_bits(c as u64, CLASS_BITS);
+                let w = OFFSET_WIDTH[c as usize] as usize;
+                if w > 0 {
+                    offsets.push_bits(block_rank_offset(word, c), w);
+                }
+                ones += c as u64;
+            }
+            Enc {
+                classes,
+                offsets,
+                ones,
+                sb_rank,
+                sb_ptr,
+            }
+        };
+        let mut encs: Vec<Option<Enc>> = (0..n_chunks).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let encode_chunk = &encode_chunk;
+            let handles: Vec<_> = (0..threads.min(n_chunks))
+                .map(|w| {
+                    s.spawn(move || {
+                        (w..n_chunks)
+                            .step_by(threads)
+                            .map(|ci| (ci, encode_chunk(ci)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (ci, e) in h.join().expect("RRR encode worker panicked") {
+                    encs[ci] = Some(e);
+                }
+            }
+        });
+        // Splice the chunk streams; directory entries shift by the running
+        // rank / offset-bit totals.
+        let mut classes = RawBitVec::with_capacity(n_blocks * CLASS_BITS);
+        let mut offsets = RawBitVec::new();
+        let mut sb_rank = Vec::with_capacity(sb_count + 1);
+        let mut sb_ptr = Vec::with_capacity(sb_count + 1);
+        let mut ones = 0u64;
+        for e in encs {
+            let e = e.expect("all chunks encoded");
+            for (&r, &p) in e.sb_rank.iter().zip(&e.sb_ptr) {
+                sb_rank.push(ones + r);
+                sb_ptr.push(offsets.len() as u64 + p);
+            }
+            classes.extend_from_range(&e.classes, 0, e.classes.len());
+            offsets.extend_from_range(&e.offsets, 0, e.offsets.len());
+            ones += e.ones;
+        }
+        Self::finalize(bits.len(), ones as usize, classes, offsets, sb_rank, sb_ptr)
+    }
+
+    /// Seals the streams + directory into a queryable vector: appends the
+    /// sentinel superblock and derives the sampled select hints. Shared by
+    /// [`RrrBuilder::finish`] and the parallel construction.
+    fn finalize(
+        target_len: usize,
+        ones: usize,
+        classes: RawBitVec,
+        offsets: RawBitVec,
+        mut sb_rank: Vec<u64>,
+        mut sb_ptr: Vec<u64>,
+    ) -> RrrVector {
+        // Sentinel superblock so binary searches have an upper fence.
+        sb_rank.push(ones as u64);
+        sb_ptr.push(offsets.len() as u64);
+        // Sampled select hints: superblock of every SELECT_SAMPLE-th
+        // one/zero, derived from the superblock rank directory alone.
+        // Vectors spanning only a handful of superblocks skip them — the
+        // fallback binary search is already 2–3 probes there, and the many
+        // small node bitvectors of a Wavelet Trie then pay no hint memory.
+        let mut hints1 = Vec::new();
+        let mut hints0 = Vec::new();
+        if sb_rank.len() > 5 {
+            let total_zeros = target_len - ones;
+            let zeros_before = |sb: usize| {
+                (sb * SB_BLOCKS * RRR_BLOCK_BITS).min(target_len) - sb_rank[sb] as usize
+            };
+            hints1.reserve_exact(ones / SELECT_SAMPLE + 1);
+            hints0.reserve_exact(total_zeros / SELECT_SAMPLE + 1);
+            let mut sb = 0usize;
+            for k in (0..ones).step_by(SELECT_SAMPLE) {
+                while (sb_rank[sb + 1] as usize) <= k {
+                    sb += 1;
+                }
+                hints1.push(sb as u32);
+            }
+            let mut sb = 0usize;
+            for k in (0..total_zeros).step_by(SELECT_SAMPLE) {
+                while zeros_before(sb + 1) <= k {
+                    sb += 1;
+                }
+                hints0.push(sb as u32);
+            }
+        }
+        let sb: Vec<SbEntry> = sb_rank
+            .iter()
+            .zip(&sb_ptr)
+            .map(|(&rank, &ptr)| SbEntry { rank, ptr })
+            .collect();
+        RrrVector {
+            len: target_len,
+            ones,
+            classes,
+            offsets,
+            sb,
+            hints1,
+            hints0,
+        }
     }
 
     /// Decompresses the whole vector (tests, iteration).
@@ -531,56 +811,16 @@ impl RrrBuilder {
     ///
     /// # Panics
     /// If fewer blocks than promised were pushed.
-    pub fn finish(mut self) -> RrrVector {
+    pub fn finish(self) -> RrrVector {
         assert!(self.is_complete(), "RrrBuilder: missing blocks");
-        // Sentinel superblock so binary searches have an upper fence.
-        self.sb_rank.push(self.ones as u64);
-        self.sb_ptr.push(self.offsets.len() as u64);
-        // Sampled select hints: superblock of every SELECT_SAMPLE-th
-        // one/zero, derived from the superblock rank directory alone.
-        // Vectors spanning only a handful of superblocks skip them — the
-        // fallback binary search is already 2–3 probes there, and the many
-        // small node bitvectors of a Wavelet Trie then pay no hint memory.
-        let mut hints1 = Vec::new();
-        let mut hints0 = Vec::new();
-        if self.sb_rank.len() > 5 {
-            let total_ones = self.ones;
-            let total_zeros = self.target_len - total_ones;
-            let zeros_before = |sb: usize| {
-                (sb * SB_BLOCKS * RRR_BLOCK_BITS).min(self.target_len) - self.sb_rank[sb] as usize
-            };
-            hints1.reserve_exact(total_ones / SELECT_SAMPLE + 1);
-            hints0.reserve_exact(total_zeros / SELECT_SAMPLE + 1);
-            let mut sb = 0usize;
-            for k in (0..total_ones).step_by(SELECT_SAMPLE) {
-                while (self.sb_rank[sb + 1] as usize) <= k {
-                    sb += 1;
-                }
-                hints1.push(sb as u32);
-            }
-            let mut sb = 0usize;
-            for k in (0..total_zeros).step_by(SELECT_SAMPLE) {
-                while zeros_before(sb + 1) <= k {
-                    sb += 1;
-                }
-                hints0.push(sb as u32);
-            }
-        }
-        let sb: Vec<SbEntry> = self
-            .sb_rank
-            .iter()
-            .zip(&self.sb_ptr)
-            .map(|(&rank, &ptr)| SbEntry { rank, ptr })
-            .collect();
-        RrrVector {
-            len: self.target_len,
-            ones: self.ones,
-            classes: self.classes,
-            offsets: self.offsets,
-            sb,
-            hints1,
-            hints0,
-        }
+        RrrVector::finalize(
+            self.target_len,
+            self.ones,
+            self.classes,
+            self.offsets,
+            self.sb_rank,
+            self.sb_ptr,
+        )
     }
 }
 
@@ -716,6 +956,73 @@ mod tests {
             "RRR too large: {used} bits vs nH0 = {h0}"
         );
         assert!(used < bits.len() as f64, "should beat plain storage");
+    }
+
+    #[test]
+    fn batch_entry_points_match_scalar() {
+        let mut s = 0xABCD_1234u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for &density in &[2u64, 50, 700] {
+            let bits = RawBitVec::from_bits((0..30_000).map(|_| next() % density == 0));
+            let rrr = RrrVector::new(&bits);
+            // Random positions including block/superblock edges and len.
+            let mut pos: Vec<usize> = (0..333).map(|_| (next() % 30_000) as usize).collect();
+            pos.extend([0, 62, 63, 64, 1007, 1008, 29_999]);
+            let mut ranks = vec![0usize; pos.len()];
+            let mut with_len = pos.clone();
+            with_len.push(30_000);
+            let mut ranks_len = vec![0usize; with_len.len()];
+            let mut gets = vec![false; pos.len()];
+            let mut grs = vec![(false, 0usize); pos.len()];
+            rrr.rank1_batch(&with_len, &mut ranks_len);
+            rrr.rank1_batch(&pos, &mut ranks);
+            rrr.get_batch(&pos, &mut gets);
+            rrr.get_rank1_batch(&pos, &mut grs);
+            for (k, &i) in pos.iter().enumerate() {
+                assert_eq!(ranks[k], rrr.rank1(i), "rank1_batch({i})");
+                assert_eq!(gets[k], rrr.get(i), "get_batch({i})");
+                assert_eq!(grs[k], rrr.get_rank1(i), "get_rank1_batch({i})");
+            }
+            assert_eq!(*ranks_len.last().unwrap(), rrr.count_ones());
+            // Empty and singleton batches.
+            rrr.rank1_batch(&[], &mut []);
+            let mut one = [0usize];
+            rrr.rank1_batch(&[17], &mut one);
+            assert_eq!(one[0], rrr.rank1(17));
+        }
+    }
+
+    #[test]
+    fn parallel_encode_matches_serial() {
+        let mut s = 99u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for n in [0usize, 63, 1008, 16_128, 16_129, 100_000] {
+            let bits = RawBitVec::from_bits((0..n).map(|_| next() % 5 == 0));
+            let serial = RrrVector::new(&bits);
+            for threads in [1usize, 2, 4] {
+                let par = RrrVector::from_raw_with_threads(&bits, threads);
+                assert_eq!(par.len(), serial.len());
+                assert_eq!(par.count_ones(), serial.count_ones());
+                assert_eq!(par.to_raw(), serial.to_raw(), "n={n} threads={threads}");
+                let step = (n / 97).max(1);
+                for i in (0..=n).step_by(step) {
+                    assert_eq!(par.rank1(i), serial.rank1(i), "rank1({i})");
+                }
+                for k in (0..par.count_ones()).step_by(step) {
+                    assert_eq!(par.select1(k), serial.select1(k), "select1({k})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! re-insertion), [`static_wt::WaveletTrie::thaw`] melts it back — the
 //! machinery behind the `wt-store` tiered store.
 
+mod batch;
 pub mod binarize;
 pub mod convert;
 pub mod dyn_wt;

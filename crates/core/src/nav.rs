@@ -66,6 +66,48 @@ pub trait TrieNav {
     /// A key identifying `v` uniquely while the structure is unchanged
     /// (used by the sequential iterator's cursor table).
     fn nav_key<'a>(&'a self, v: Self::Node<'a>) -> usize;
+
+    // --- batched queries ---------------------------------------------------
+    //
+    // Hooks behind the `SeqIndex::*_batch` surface. The defaults run the
+    // scalar algorithms in a loop; backends whose descents are chains of
+    // cache misses (the static trie) override them with a software-pipelined
+    // group descent that advances all lanes level-by-level in lockstep.
+
+    /// Batched `Access`: the strings at `positions`, in order.
+    fn nav_access_batch(&self, positions: &[usize]) -> Vec<BitString>
+    where
+        Self: Sized,
+    {
+        positions.iter().map(|&p| access(self, p)).collect()
+    }
+
+    /// Batched `Rank` over `(string, position)` queries.
+    fn nav_rank_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<usize>
+    where
+        Self: Sized,
+    {
+        queries.iter().map(|&(s, pos)| rank(self, s, pos)).collect()
+    }
+
+    /// Batched `Select` over `(string, occurrence index)` queries.
+    fn nav_select_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<Option<usize>>
+    where
+        Self: Sized,
+    {
+        queries
+            .iter()
+            .map(|&(s, idx)| select(self, s, idx))
+            .collect()
+    }
+
+    /// Batched `CountPrefix`.
+    fn nav_count_prefix_batch(&self, prefixes: &[BitStr<'_>]) -> Vec<usize>
+    where
+        Self: Sized,
+    {
+        prefixes.iter().map(|&p| count_prefix(self, p)).collect()
+    }
 }
 
 /// Entries a descent path keeps on the stack before spilling to the heap.

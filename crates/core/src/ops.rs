@@ -123,6 +123,41 @@ pub trait SeqIndex {
     /// All strings occurring ≥ `min_count` times in `S[l, r)` (§5 heuristic).
     fn range_frequent(&self, l: usize, r: usize, min_count: usize) -> Vec<(BitString, usize)>;
 
+    // --- batched queries ---------------------------------------------------
+    //
+    // Throughput entry points: resolve many *independent* queries per call
+    // so a backend can overlap their memory latencies (each scalar static
+    // descent is a chain of dependent cache misses; N interleaved descents
+    // turn into ~depth rounds of overlapped misses). The defaults loop the
+    // scalar operations — every implementation answers bit-identically to
+    // the scalar API. The static trie and the tiered store override these.
+
+    /// Batched [`SeqIndex::access`]: the strings at `positions`, in order.
+    ///
+    /// # Panics
+    /// If any position is `>= seq_len()`.
+    fn access_batch(&self, positions: &[usize]) -> Vec<BitString> {
+        positions.iter().map(|&p| self.access(p)).collect()
+    }
+
+    /// Batched [`SeqIndex::rank`] over `(string, position)` queries.
+    fn rank_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<usize> {
+        queries.iter().map(|&(s, pos)| self.rank(s, pos)).collect()
+    }
+
+    /// Batched [`SeqIndex::select`] over `(string, occurrence idx)` queries.
+    fn select_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<Option<usize>> {
+        queries
+            .iter()
+            .map(|&(s, idx)| self.select(s, idx))
+            .collect()
+    }
+
+    /// Batched [`SeqIndex::count_prefix`].
+    fn count_prefix_batch(&self, prefixes: &[BitStr<'_>]) -> Vec<usize> {
+        prefixes.iter().map(|&p| self.count_prefix(p)).collect()
+    }
+
     /// Sequential iterator over `S[l, r)` (§5 "Sequential access"), boxed so
     /// it stays object-safe. `Sized` callers get the allocation-free
     /// [`SequenceOps::iter_range`] instead.
@@ -219,6 +254,22 @@ impl<T: TrieNav> SeqIndex for T {
         let mut out = Vec::new();
         range::range_frequent(self, l, r, min_count, &mut |s, c| out.push((s.clone(), c)));
         out
+    }
+
+    fn access_batch(&self, positions: &[usize]) -> Vec<BitString> {
+        self.nav_access_batch(positions)
+    }
+
+    fn rank_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<usize> {
+        self.nav_rank_batch(queries)
+    }
+
+    fn select_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<Option<usize>> {
+        self.nav_select_batch(queries)
+    }
+
+    fn count_prefix_batch(&self, prefixes: &[BitStr<'_>]) -> Vec<usize> {
+        self.nav_count_prefix_batch(prefixes)
     }
 
     fn iter_range_boxed(&self, l: usize, r: usize) -> Box<dyn Iterator<Item = BitString> + '_> {

@@ -194,6 +194,42 @@ macro_rules! string_facade_queries {
                 .map(move |b| String::from_utf8_lossy(&coder.decode(b.as_bitstr())).into_owned())
         }
 
+        /// Batched `Access`: the strings at `positions` as UTF-8 (lossy).
+        /// Backends with a batched descent (the static trie, the tiered
+        /// store) interleave the lookups so their cache misses overlap;
+        /// other backends answer with a scalar loop. Results are always
+        /// identical to per-position [`Self::get_string`] calls.
+        pub fn get_strings_batch(&self, positions: &[usize]) -> Vec<String> {
+            self.inner
+                .access_batch(positions)
+                .into_iter()
+                .map(|b| String::from_utf8_lossy(&self.coder.decode(b.as_bitstr())).into_owned())
+                .collect()
+        }
+
+        /// Batched total occurrence counts, one per query string.
+        pub fn count_batch<S: AsRef<[u8]>>(&self, queries: &[S]) -> Vec<usize> {
+            let encoded: Vec<_> = queries
+                .iter()
+                .map(|s| self.coder.encode(s.as_ref()))
+                .collect();
+            let q: Vec<_> = encoded
+                .iter()
+                .map(|b| (b.as_bitstr(), self.inner.seq_len()))
+                .collect();
+            self.inner.rank_batch(&q)
+        }
+
+        /// Batched [`Self::count_prefix`] over byte prefixes.
+        pub fn count_prefix_batch<S: AsRef<[u8]>>(&self, prefixes: &[S]) -> Vec<usize> {
+            let encoded: Vec<_> = prefixes
+                .iter()
+                .map(|p| self.coder.encode_prefix(p.as_ref()))
+                .collect();
+            let q: Vec<_> = encoded.iter().map(|b| b.as_bitstr()).collect();
+            self.inner.count_prefix_batch(&q)
+        }
+
         /// Trie height.
         pub fn height(&self) -> usize {
             self.inner.height()

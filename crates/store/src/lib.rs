@@ -36,9 +36,18 @@
 //! invariant the per-segment tries rely on and keeping results identical
 //! to the monolithic equivalent.
 //!
-//! Interior mutability note: the lazily rebuilt directory lives in a
-//! [`RefCell`], so `TieredStore` is `Send` but not `Sync`; shard per
-//! thread (the intended deployment) or wrap in a lock.
+//! Thread-safety story: the pieces a reader actually shares across threads
+//! — the static [`wavelet_trie::WaveletTrie`] inside every sealed segment,
+//! and the `wt_bits` substrates under it — are fully immutable and
+//! `Send + Sync` (compile-time asserted below); the parallel construction
+//! paths (`seal`/`compact` freezing segments on `std::thread::scope`
+//! workers, the chunk-parallel RRR encode) rely on exactly that. The
+//! `TieredStore` handle itself is `Send` but **not** `Sync`: the lazily
+//! rebuilt segment directory and the per-sealed-segment `admits` memo live
+//! in [`RefCell`]s. Move it between threads freely, shard per thread, or
+//! wrap it in a lock for concurrent mutation; for read-mostly fan-out,
+//! clone sealed segments out or query them through `&dyn SeqIndex` from
+//! the owning thread's batched entry points.
 
 pub mod text;
 
@@ -50,6 +59,32 @@ use std::collections::BTreeMap;
 use wavelet_trie::{DynamicWaveletTrie, SeqIndex, WaveletTrie};
 use wt_bits::{EliasFano, SpaceUsage};
 use wt_trie::{BitStr, BitString, PrefixFreeViolation};
+
+// Compile-time pins of the thread-safety story documented above: the
+// shared read-only structures must stay `Send + Sync` (scoped-thread
+// construction and cross-thread readers depend on it), and the store
+// handle must stay movable between threads despite its interior caches.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    // Sealed-segment payload (and anything built from it).
+    assert_send_sync::<WaveletTrie>();
+    // The compressed bitvector substrate of every static segment.
+    assert_send_sync::<wt_bits::RrrVector>();
+    // The hot tier freezes on worker threads via `&DynamicWaveletTrie`.
+    assert_send_sync::<DynamicWaveletTrie>();
+    // The store handle: `Send`, deliberately not `Sync` (RefCell caches).
+    assert_send::<TieredStore>();
+    assert_send::<text::TieredStrings>();
+};
+
+/// Worker threads for segment freezes: the machine's parallelism, bounded.
+fn auto_freeze_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .min(8)
+}
 
 /// Tiering policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -70,10 +105,72 @@ impl Default for StoreConfig {
     }
 }
 
+/// Slots in a sealed segment's `admits` memo: big enough for the working
+/// set of a duplicate-heavy append stream, small enough to scan linearly.
+const ADMITS_CACHE_SLOTS: usize = 8;
+
+/// Per-generation memo of recent `admits` verdicts for one **sealed**
+/// segment. A sealed segment's string set never changes, so a verdict is a
+/// pure function of the segment and stays valid for its whole lifetime;
+/// the memo is dropped with the segment when it melts or merges (the next
+/// generation gets a fresh one). Append-heavy workloads repeat a small
+/// working set of strings, and without the memo every insert re-ran one
+/// prefix-check descent per sealed segment per call.
+#[derive(Clone, Debug, Default)]
+struct AdmitsCache {
+    entries: Vec<(BitString, bool)>,
+    /// Ring cursor: next slot to evict once full.
+    next: usize,
+}
+
+impl AdmitsCache {
+    fn lookup(&self, s: BitStr<'_>) -> Option<bool> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.as_bitstr() == s)
+            .map(|&(_, v)| v)
+    }
+
+    fn store(&mut self, s: BitStr<'_>, verdict: bool) {
+        if self.entries.len() < ADMITS_CACHE_SLOTS {
+            self.entries.push((s.to_owned_str(), verdict));
+        } else {
+            self.entries[self.next] = (s.to_owned_str(), verdict);
+            self.next = (self.next + 1) % ADMITS_CACHE_SLOTS;
+        }
+    }
+}
+
+/// An immutable static segment plus its admits memo.
+#[derive(Clone, Debug)]
+struct SealedSegment {
+    wt: WaveletTrie,
+    admits: RefCell<AdmitsCache>,
+}
+
+impl SealedSegment {
+    fn new(wt: WaveletTrie) -> Self {
+        SealedSegment {
+            wt,
+            admits: RefCell::new(AdmitsCache::default()),
+        }
+    }
+
+    /// The §3 prefix-free check through the per-generation memo.
+    fn admits_cached(&self, s: BitStr<'_>) -> bool {
+        if let Some(v) = self.admits.borrow().lookup(s) {
+            return v;
+        }
+        let v = SeqIndex::admits(&self.wt, s);
+        self.admits.borrow_mut().store(s, v);
+        v
+    }
+}
+
 /// One tier member: an immutable sealed segment or a hot dynamic one.
 #[derive(Clone, Debug)]
 enum Segment {
-    Sealed(Box<WaveletTrie>),
+    Sealed(Box<SealedSegment>),
     Hot(DynamicWaveletTrie),
 }
 
@@ -82,14 +179,23 @@ impl Segment {
     /// indistinguishable to the read path.
     fn index(&self) -> &dyn SeqIndex {
         match self {
-            Segment::Sealed(s) => s.as_ref(),
+            Segment::Sealed(s) => &s.wt,
             Segment::Hot(h) => h,
+        }
+    }
+
+    /// `admits`, memoized for sealed segments (hot ones mutate, so their
+    /// verdicts are computed fresh).
+    fn admits(&self, s: BitStr<'_>) -> bool {
+        match self {
+            Segment::Sealed(g) => g.admits_cached(s),
+            Segment::Hot(h) => SeqIndex::admits(h, s),
         }
     }
 
     fn len(&self) -> usize {
         match self {
-            Segment::Sealed(s) => s.len(),
+            Segment::Sealed(s) => s.wt.len(),
             Segment::Hot(h) => h.len(),
         }
     }
@@ -201,7 +307,7 @@ impl TieredStore {
     /// If `pos > len()`.
     pub fn insert(&mut self, s: BitStr<'_>, pos: usize) -> Result<(), PrefixFreeViolation> {
         assert!(pos <= self.len, "insert position out of bounds");
-        if !self.segments.iter().all(|g| g.index().admits(s)) {
+        if !self.segments.iter().all(|g| g.admits(s)) {
             return Err(PrefixFreeViolation);
         }
         let (seg, off) = self.locate_for_insert(pos);
@@ -239,32 +345,81 @@ impl TieredStore {
 
     /// Seals every hot segment (structural freeze) and starts a fresh hot
     /// tail. Never merges; call [`TieredStore::compact`] for that.
+    /// Freezing uses the machine's available parallelism; see
+    /// [`TieredStore::seal_with_threads`].
     pub fn seal(&mut self) {
-        for seg in self.segments.iter_mut() {
-            if let Segment::Hot(h) = seg {
-                if !h.is_empty() {
-                    *seg = Segment::Sealed(Box::new(h.freeze()));
-                }
-            }
-        }
+        self.seal_with_threads(auto_freeze_threads());
+    }
+
+    /// [`TieredStore::seal`] with an explicit worker-thread count: multiple
+    /// hot segments (a melted middle plus the tail) freeze concurrently on
+    /// scoped threads; a single hot segment spreads its succinct assembly
+    /// (RRR encode, DFUDS, delimiters) across the workers instead. The
+    /// resulting segments are bit-identical to a serial seal.
+    pub fn seal_with_threads(&mut self, threads: usize) {
+        let n_segs = self.segments.len();
+        self.freeze_hot_segments(n_segs, threads);
         // The old (now empty) hot tail, if any, is dropped here.
         self.segments.retain(|g| g.len() > 0);
         self.segments.push(Segment::Hot(DynamicWaveletTrie::new()));
         *self.directory.get_mut() = None;
     }
 
+    /// Structurally freezes the non-empty hot segments among the first
+    /// `limit`, on scoped worker threads when more than one needs freezing.
+    fn freeze_hot_segments(&mut self, limit: usize, threads: usize) {
+        let jobs: Vec<usize> = self.segments[..limit]
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| matches!(g, Segment::Hot(h) if !h.is_empty()))
+            .map(|(i, _)| i)
+            .collect();
+        let threads = threads.max(1);
+        let frozen: Vec<(usize, WaveletTrie)> = if jobs.len() <= 1 || threads == 1 {
+            // 0/1 segments to freeze: parallelize inside the freeze instead.
+            jobs.iter()
+                .map(|&i| {
+                    let Segment::Hot(h) = &self.segments[i] else {
+                        unreachable!("jobs hold hot segments");
+                    };
+                    (i, h.freeze_with_threads(threads))
+                })
+                .collect()
+        } else {
+            let segments = &self.segments;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .map(|&i| {
+                        let Segment::Hot(h) = &segments[i] else {
+                            unreachable!("jobs hold hot segments");
+                        };
+                        s.spawn(move || (i, h.freeze()))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("freeze worker panicked"))
+                    .collect()
+            })
+        };
+        for (i, wt) in frozen {
+            self.segments[i] = Segment::Sealed(Box::new(SealedSegment::new(wt)));
+        }
+    }
+
     /// Freezes melted middle segments and merges adjacent sealed segments
     /// (thaw + append + freeze, smallest combined length first) until at
-    /// most `max_sealed` sealed segments remain.
+    /// most `max_sealed` sealed segments remain. Freezing parallelizes as
+    /// in [`TieredStore::seal`].
     pub fn compact(&mut self) {
+        self.compact_with_threads(auto_freeze_threads());
+    }
+
+    /// [`TieredStore::compact`] with an explicit worker-thread count.
+    pub fn compact_with_threads(&mut self, threads: usize) {
         let last = self.segments.len() - 1;
-        for seg in self.segments.iter_mut().take(last) {
-            if let Segment::Hot(h) = seg {
-                if !h.is_empty() {
-                    *seg = Segment::Sealed(Box::new(h.freeze()));
-                }
-            }
-        }
+        self.freeze_hot_segments(last, threads);
         while self.sealed_segments() > self.config.max_sealed {
             let best = self
                 .sealed_adjacent_pairs()
@@ -296,22 +451,22 @@ impl TieredStore {
             else {
                 unreachable!("merge_pair called on non-sealed segments");
             };
-            let mut melted: wavelet_trie::AppendWaveletTrie = a.thaw();
-            for s in b.iter_seq_boxed() {
+            let mut melted: wavelet_trie::AppendWaveletTrie = a.wt.thaw();
+            for s in b.wt.iter_seq_boxed() {
                 melted
                     .append(s.as_bitstr())
                     .expect("segments are jointly prefix-free");
             }
             melted.freeze()
         };
-        self.segments[i] = Segment::Sealed(Box::new(merged));
+        self.segments[i] = Segment::Sealed(Box::new(SealedSegment::new(merged)));
         self.segments.remove(i + 1);
     }
 
     /// Melts segment `seg` back to dynamic form if it is sealed.
     fn melt(&mut self, seg: usize) {
-        if let Segment::Sealed(wt) = &self.segments[seg] {
-            let hot: DynamicWaveletTrie = wt.thaw();
+        if let Segment::Sealed(sealed) = &self.segments[seg] {
+            let hot: DynamicWaveletTrie = sealed.wt.thaw();
             self.segments[seg] = Segment::Hot(hot);
         }
     }
@@ -496,7 +651,7 @@ impl SeqIndex for TieredStore {
     }
 
     fn admits(&self, s: BitStr<'_>) -> bool {
-        self.segments.iter().all(|g| g.index().admits(s))
+        self.segments.iter().all(|g| g.admits(s))
     }
 
     fn distinct_len(&self) -> usize {
@@ -588,6 +743,127 @@ impl SeqIndex for TieredStore {
                 .flat_map(move |(i, lo, hi)| self.segments[i].index().iter_range_boxed(lo, hi)),
         )
     }
+
+    // --- batched queries ---------------------------------------------------
+    //
+    // The store routes a batch through the Elias–Fano segment directory
+    // once and dispatches one sub-batch per segment, so static segments get
+    // their software-pipelined group descent over every lane that lands in
+    // them instead of per-lane dispatch.
+
+    fn access_batch(&self, positions: &[usize]) -> Vec<BitString> {
+        for &p in positions {
+            assert!(p < self.len, "Access position out of bounds");
+        }
+        let mut out: Vec<BitString> = vec![BitString::new(); positions.len()];
+        if positions.is_empty() {
+            return out;
+        }
+        let routed: Vec<(usize, usize)> = self.with_directory(|dir| {
+            positions
+                .iter()
+                .map(|&p| {
+                    let seg = dir
+                        .predecessor_index(p as u64)
+                        .expect("cum[0] = 0")
+                        .min(self.segments.len() - 1);
+                    (seg, p - dir.get(seg) as usize)
+                })
+                .collect()
+        });
+        let mut by_seg: Vec<Vec<u32>> = vec![Vec::new(); self.segments.len()];
+        for (lane, &(seg, _)) in routed.iter().enumerate() {
+            by_seg[seg].push(lane as u32);
+        }
+        for (si, lanes) in by_seg.iter().enumerate() {
+            if lanes.is_empty() {
+                continue;
+            }
+            let locals: Vec<usize> = lanes.iter().map(|&l| routed[l as usize].1).collect();
+            let res = self.segments[si].index().access_batch(&locals);
+            for (r, &l) in res.into_iter().zip(lanes) {
+                out[l as usize] = r;
+            }
+        }
+        out
+    }
+
+    fn rank_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<usize> {
+        for &(_, pos) in queries {
+            assert!(pos <= self.len, "Rank position out of bounds");
+        }
+        let mut acc = vec![0usize; queries.len()];
+        let mut start = 0usize;
+        let mut sub: Vec<(BitStr<'_>, usize)> = Vec::new();
+        let mut lanes: Vec<u32> = Vec::new();
+        for g in &self.segments {
+            let l = g.len();
+            sub.clear();
+            lanes.clear();
+            for (k, &(s, pos)) in queries.iter().enumerate() {
+                if pos > start {
+                    sub.push((s, (pos - start).min(l)));
+                    lanes.push(k as u32);
+                }
+            }
+            if sub.is_empty() {
+                break; // positions are exhausted for every lane
+            }
+            for (r, &k) in g.index().rank_batch(&sub).into_iter().zip(&lanes) {
+                acc[k as usize] += r;
+            }
+            start += l;
+        }
+        acc
+    }
+
+    fn select_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<Option<usize>> {
+        let mut res = vec![None; queries.len()];
+        let mut remaining: Vec<usize> = queries.iter().map(|&(_, idx)| idx).collect();
+        let mut unresolved: Vec<u32> = (0..queries.len() as u32).collect();
+        let mut base = 0usize;
+        for g in &self.segments {
+            if unresolved.is_empty() {
+                break;
+            }
+            // Occurrences of each unresolved lane's string in this segment.
+            let sub: Vec<(BitStr<'_>, usize)> = unresolved
+                .iter()
+                .map(|&k| (queries[k as usize].0, g.len()))
+                .collect();
+            let counts = g.index().rank_batch(&sub);
+            let mut here: Vec<u32> = Vec::new();
+            let mut here_q: Vec<(BitStr<'_>, usize)> = Vec::new();
+            let mut keep: Vec<u32> = Vec::new();
+            for (j, &k) in unresolved.iter().enumerate() {
+                if remaining[k as usize] < counts[j] {
+                    here.push(k);
+                    here_q.push((queries[k as usize].0, remaining[k as usize]));
+                } else {
+                    remaining[k as usize] -= counts[j];
+                    keep.push(k);
+                }
+            }
+            if !here_q.is_empty() {
+                for (r, &k) in g.index().select_batch(&here_q).into_iter().zip(&here) {
+                    res[k as usize] = r.map(|p| base + p);
+                }
+            }
+            unresolved = keep;
+            base += g.len();
+        }
+        res
+    }
+
+    fn count_prefix_batch(&self, prefixes: &[BitStr<'_>]) -> Vec<usize> {
+        let mut acc = vec![0usize; prefixes.len()];
+        for g in &self.segments {
+            for (a, c) in acc.iter_mut().zip(g.index().count_prefix_batch(prefixes)) {
+                *a += c;
+            }
+        }
+        acc
+    }
 }
 
 impl SpaceUsage for TieredStore {
@@ -596,7 +872,7 @@ impl SpaceUsage for TieredStore {
             .segments
             .iter()
             .map(|g| match g {
-                Segment::Sealed(s) => s.size_bits(),
+                Segment::Sealed(s) => s.wt.size_bits(),
                 Segment::Hot(h) => h.size_bits(),
             })
             .sum();
@@ -736,6 +1012,101 @@ mod tests {
         assert_eq!(st.distinct_in_range(0, 0), vec![]);
         assert_eq!(st.range_majority(0, 0), None);
         assert_eq!(st.iter_seq_boxed().count(), 0);
+    }
+
+    /// Naive prefix-freeness oracle over the stored multiset: `s` may join
+    /// iff every stored `t` equals `s` or diverges before either ends.
+    fn naive_admits(strings: &[BitString], s: BitStr<'_>) -> bool {
+        strings.iter().all(|t| {
+            let t = t.as_bitstr();
+            t == s || t.lcp(&s) < t.len().min(s.len())
+        })
+    }
+
+    #[test]
+    fn admits_cache_matches_uncached_oracle() {
+        let mut s = 0xCAC4Eu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut st = tiny();
+        let mut model: Vec<BitString> = Vec::new();
+        // Variable-length strings so prefix relations actually occur.
+        let probe_pool: Vec<BitString> = (0..40)
+            .map(|k| {
+                let len = 3 + (k % 9);
+                let v = k as u64 * 2654435761 % (1 << len);
+                BitString::from_bits((0..len).rev().map(move |b| (v >> b) & 1 != 0))
+            })
+            .collect();
+        for step in 0..400 {
+            let q = &probe_pool[(next() % probe_pool.len() as u64) as usize];
+            // Probe twice: the second hit exercises the sealed-segment memo.
+            let want = naive_admits(&model, q.as_bitstr());
+            assert_eq!(st.admits(q.as_bitstr()), want, "admits step {step}");
+            assert_eq!(st.admits(q.as_bitstr()), want, "admits (cached) {step}");
+            match next() % 10 {
+                0..=5 => {
+                    if want {
+                        let pos = (next() % (model.len() as u64 + 1)) as usize;
+                        st.insert(q.as_bitstr(), pos).unwrap();
+                        model.insert(pos, q.clone());
+                    } else {
+                        assert!(st.insert(q.as_bitstr(), 0).is_err());
+                    }
+                }
+                6 if !model.is_empty() => {
+                    let pos = (next() % model.len() as u64) as usize;
+                    assert_eq!(st.delete(pos), model.remove(pos));
+                }
+                7 => st.seal(),
+                _ => {}
+            }
+        }
+        // A mutation that changes a verdict must invalidate the memo: the
+        // only occurrence of a string leaving flips its prefixes to valid.
+        let mut st = tiny();
+        st.append(bs("0100").as_bitstr()).unwrap();
+        st.seal();
+        assert!(!st.admits(bs("01").as_bitstr()));
+        assert!(!st.admits(bs("01").as_bitstr())); // cached verdict
+        st.delete(0);
+        assert!(st.admits(bs("01").as_bitstr()), "stale admits verdict");
+    }
+
+    #[test]
+    fn parallel_seal_and_compact_match_serial() {
+        let build = |threads: usize| {
+            let mut st = TieredStore::with_config(StoreConfig {
+                seal_at: 64,
+                max_sealed: 4,
+            });
+            for i in 0..200u64 {
+                st.append(encode(i % 50).as_bitstr()).unwrap();
+            }
+            // Melt two middles so multiple hot segments freeze at once.
+            st.insert(encode(51).as_bitstr(), 10).unwrap();
+            st.insert(encode(52).as_bitstr(), 130).unwrap();
+            assert!(st.segments.iter().filter(|g| !g.is_sealed()).count() > 1);
+            st.seal_with_threads(threads);
+            st.compact_with_threads(threads);
+            st
+        };
+        let serial = build(1);
+        let par = build(4);
+        assert_eq!(serial.len(), par.len());
+        assert_eq!(serial.segment_lens(), par.segment_lens());
+        assert_eq!(serial.size_bits(), par.size_bits(), "bit-identical freeze");
+        for i in (0..serial.len()).step_by(7) {
+            assert_eq!(serial.access(i), par.access(i), "access({i})");
+        }
+        for v in 0..53u64 {
+            let s = encode(v);
+            assert_eq!(serial.count(s.as_bitstr()), par.count(s.as_bitstr()));
+        }
     }
 
     #[test]

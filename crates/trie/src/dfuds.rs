@@ -12,6 +12,7 @@
 //! substitution #6).
 
 use crate::bp::BpSupport;
+use wt_bits::broadword::prefetch_read;
 use wt_bits::{BitRank, BitSelect, RawBitVec, SpaceUsage};
 
 /// A static ordinal tree with succinct navigation.
@@ -19,32 +20,84 @@ use wt_bits::{BitRank, BitSelect, RawBitVec, SpaceUsage};
 pub struct Dfuds {
     bp: BpSupport,
     n_nodes: usize,
+    /// Second-child skip directory: for the `j`-th node (preorder) with
+    /// degree ≥ 1, the position of its child 1 (0 for degree-1 nodes,
+    /// which have none). Turns the one genuinely expensive descent step —
+    /// `child(v, 1)`'s balanced-parenthesis excursion over the whole first
+    /// subtree — into a single prefetchable O(1) load, at 32 bits per
+    /// internal node (a few percent of a large Wavelet Trie). Built only
+    /// for encodings past [`CHILD1_DIR_MIN_BITS`] — smaller trees are
+    /// cache-resident, where the rmM excursion is cheap and the directory
+    /// would dominate the tree's own space — and only while positions fit
+    /// `u32`; callers fall back to the BP excursion when absent.
+    child1: Vec<u32>,
 }
+
+/// BP size (bits) from which [`Dfuds`] builds the second-child directory.
+/// 2^16 bits ≈ 21k internal nodes: below this the whole parenthesis
+/// sequence fits in L1/L2 and `find_close` is compute-cheap.
+pub const CHILD1_DIR_MIN_BITS: usize = 1 << 16;
 
 /// Handle to a DFUDS node: the position of its first encoding symbol.
 pub type NodeId = usize;
+
+/// Builds the second-child directory from the preorder degree sequence:
+/// a reverse scan computes subtree node counts, so child 1 of node `m` is
+/// the node at preorder `m + 1 + |subtree(child 0)|`.
+fn build_child1_dir(degs: &[u32], total_bits: usize) -> Vec<u32> {
+    if !(CHILD1_DIR_MIN_BITS..=u32::MAX as usize).contains(&total_bits) {
+        return Vec::new();
+    }
+    let n = degs.len();
+    let mut pos = Vec::with_capacity(n);
+    let mut p = 1u64;
+    for &d in degs {
+        pos.push(p as u32);
+        p += d as u64 + 1;
+    }
+    let mut sub = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    for m in (0..n).rev() {
+        let mut s = 1u32;
+        for _ in 0..degs[m] {
+            s += stack.pop().expect("degree sequence is consistent");
+        }
+        sub[m] = s;
+        stack.push(s);
+    }
+    let mut dir = Vec::with_capacity(degs.iter().filter(|&&d| d >= 1).count());
+    for (m, &d) in degs.iter().enumerate() {
+        if d >= 1 {
+            let after = m + 1 + sub[m + 1] as usize;
+            dir.push(if d >= 2 { pos[after] } else { 0 });
+        }
+    }
+    dir
+}
 
 impl Dfuds {
     /// Builds from the preorder degree sequence of the tree.
     ///
     /// An empty iterator yields an empty tree.
     pub fn from_degrees<I: IntoIterator<Item = usize>>(degrees: I) -> Self {
+        let degs: Vec<u32> = degrees.into_iter().map(|d| d as u32).collect();
         let mut bits = RawBitVec::new();
         bits.push(true); // virtual root parenthesis
-        let mut n_nodes = 0usize;
-        for d in degrees {
+        for &d in &degs {
             for _ in 0..d {
                 bits.push(true);
             }
             bits.push(false);
-            n_nodes += 1;
         }
+        let n_nodes = degs.len();
         if n_nodes == 0 {
             bits.clear();
         }
+        let child1 = build_child1_dir(&degs, bits.len());
         Dfuds {
             bp: BpSupport::new(bits),
             n_nodes,
+            child1,
         }
     }
 
@@ -64,6 +117,15 @@ impl Dfuds {
     #[inline]
     pub fn root(&self) -> Option<NodeId> {
         (self.n_nodes > 0).then_some(1)
+    }
+
+    /// Hints the CPU towards the BP words and rank directory entries the
+    /// next navigation step at `v` will touch (`preorder`, `is_leaf`,
+    /// `degree` all start from `v`'s bit position). Batched descents issue
+    /// this for every lane before resolving any.
+    #[inline]
+    pub fn prefetch_node(&self, v: NodeId) {
+        self.bp.fid().prefetch(v);
     }
 
     /// Preorder rank of `v` (root = 0).
@@ -123,6 +185,24 @@ impl Dfuds {
         !self.bp.is_open(v)
     }
 
+    /// Position of child 1 of the `j`-th internal node — `j` being the
+    /// node's preorder rank among nodes with degree ≥ 1, which the static
+    /// Wavelet Trie already computes for its bitvector directories. O(1)
+    /// via the skip directory; `None` when the directory is unavailable
+    /// (callers fall back to [`Dfuds::child`]).
+    ///
+    /// The result is meaningful only for nodes of degree ≥ 2.
+    #[inline]
+    pub fn child1_by_internal_rank(&self, j: usize) -> Option<NodeId> {
+        self.child1.get(j).map(|&p| p as usize)
+    }
+
+    /// Hints the CPU towards the `j`-th skip-directory entry.
+    #[inline]
+    pub fn prefetch_child1(&self, j: usize) {
+        prefetch_read(self.child1.as_ptr().wrapping_add(j));
+    }
+
     /// The `i`-th (0-based) child of `v`.
     ///
     /// # Panics
@@ -177,8 +257,9 @@ impl Dfuds {
 
 impl SpaceUsage for Dfuds {
     fn size_bits(&self) -> usize {
-        // BP bits + its Fid directory + rmM tree, plus our node counter.
-        self.bp.fid().size_bits() + self.bp.directory_bits() + 64
+        // BP bits + its Fid directory + rmM tree + the second-child skip
+        // directory, plus our node counter.
+        self.bp.fid().size_bits() + self.bp.directory_bits() + self.child1.capacity() * 32 + 64
     }
 }
 
@@ -398,6 +479,36 @@ mod tests {
             assert_eq!(t.parent(c), Some(root));
             assert_eq!(t.child_index(c), Some(k));
         }
+    }
+
+    #[test]
+    fn child1_directory_matches_bp() {
+        // Above the size gate: every degree-≥2 node's directory entry must
+        // equal the BP answer.
+        for (n, seed, fanout) in [(40_000usize, 7u64, 3usize), (50_000, 17, 4)] {
+            let (_, degrees) = RefTree::random(n, seed, fanout);
+            let t = Dfuds::from_degrees(degrees.iter().copied());
+            let mut j = 0usize;
+            let mut checked = 0usize;
+            for i in 0..n {
+                let v = t.by_preorder(i);
+                let d = t.degree(v);
+                if d >= 2 && i % 11 == 0 {
+                    assert_eq!(
+                        t.child1_by_internal_rank(j),
+                        Some(t.child(v, 1)),
+                        "internal {j} (preorder {i})"
+                    );
+                    checked += 1;
+                }
+                j += (d >= 1) as usize;
+            }
+            assert!(checked > 100, "directory should be present and exercised");
+        }
+        // Below the gate the directory is absent; callers fall back to BP.
+        let (_, degrees) = RefTree::random(500, 3, 2);
+        let t = Dfuds::from_degrees(degrees.iter().copied());
+        assert_eq!(t.child1_by_internal_rank(0), None);
     }
 
     #[test]
