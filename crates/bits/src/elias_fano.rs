@@ -7,7 +7,8 @@
 //! `B(m, n) + o(n)` space and O(1) access (DESIGN.md substitution #1).
 
 use crate::broadword::PIPELINE_LANES;
-use crate::{BitSelect, Fid, RawBitVec, SpaceUsage};
+use crate::persist::{LoadError, Persist, WordsReader};
+use crate::{BitRank, BitSelect, Fid, RawBitVec, SpaceUsage};
 
 /// A compressed monotone non-decreasing sequence of `u64`s with O(1) access.
 #[derive(Clone, Debug)]
@@ -311,6 +312,38 @@ impl EliasFano {
 impl SpaceUsage for EliasFano {
     fn size_bits(&self) -> usize {
         self.low.size_bits() + self.high.size_bits() + 4 * 64
+    }
+}
+
+impl Persist for EliasFano {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.n as u64);
+        out.push(self.u);
+        out.push(self.low_width as u64);
+        self.low.encode(out);
+        self.high.encode(out);
+    }
+
+    fn decode(r: &mut WordsReader) -> Result<Self, LoadError> {
+        let n = r.read_len()?;
+        let u = r.read_u64()?;
+        let low_width = r.read_len()?;
+        let low = RawBitVec::decode(r)?;
+        let high = Fid::decode(r)?;
+        if low_width >= 64 || low.len() != n * low_width {
+            return Err(LoadError::Invalid("elias-fano low stream length"));
+        }
+        // One set bit per element in the upper bucket unary stream.
+        if high.count_ones() != n {
+            return Err(LoadError::Invalid("elias-fano upper bucket count"));
+        }
+        Ok(EliasFano {
+            n,
+            u,
+            low_width,
+            low,
+            high,
+        })
     }
 }
 

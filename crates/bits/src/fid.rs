@@ -9,6 +9,8 @@
 use crate::broadword::{
     count_bit_in_word, prefetch_read, select_bit_in_word, select_block, PIPELINE_LANES,
 };
+use crate::persist::{LoadError, Persist, WordsReader};
+use crate::words::{U32Words, Words};
 use crate::{RawBitVec, SpaceUsage};
 
 /// Bits covered by one rank superblock (8 words).
@@ -87,15 +89,15 @@ pub trait BitSelect: BitRank {
 pub struct Fid {
     bits: RawBitVec,
     /// Absolute rank before each 512-bit block.
-    block_rank: Vec<u64>,
+    block_rank: Words,
     /// Packed 9-bit relative ranks before words 1..=7 of each block
     /// (rank9 second level).
-    sub_rank: Vec<u64>,
+    sub_rank: Words,
     ones: usize,
     /// Block index containing the `(k*SELECT_SAMPLE)`-th one.
-    hints1: Vec<u32>,
+    hints1: U32Words,
     /// Block index containing the `(k*SELECT_SAMPLE)`-th zero.
-    hints0: Vec<u32>,
+    hints0: U32Words,
 }
 
 impl Fid {
@@ -142,11 +144,11 @@ impl Fid {
         }
         Fid {
             bits,
-            block_rank,
-            sub_rank,
+            block_rank: block_rank.into(),
+            sub_rank: sub_rank.into(),
             ones: total_ones,
-            hints1,
-            hints0,
+            hints1: U32Words::from_vec(hints1),
+            hints0: U32Words::from_vec(hints0),
         }
     }
 
@@ -186,7 +188,7 @@ impl Fid {
     /// touch further directory words, but the hint entry pins its range).
     #[inline]
     pub fn prefetch_select1(&self, k: usize) {
-        if let Some(&b) = self.hints1.get(k / SELECT_SAMPLE) {
+        if let Some(b) = self.hints1.get_opt(k / SELECT_SAMPLE) {
             let b = b as usize;
             prefetch_read(self.block_rank.as_ptr().wrapping_add(b));
             self.bits.prefetch(b * BLOCK_BITS);
@@ -237,11 +239,11 @@ impl Fid {
             for (r, &k) in range.iter_mut().zip(chunk) {
                 assert!(k < self.ones, "select1 rank {k} out of bounds");
                 let hi = k / SELECT_SAMPLE;
-                let lo_block = self.hints1[hi] as usize;
+                let lo_block = self.hints1.get(hi) as usize;
                 let hi_block = self
                     .hints1
-                    .get(hi + 1)
-                    .map(|&b| b as usize + 1)
+                    .get_opt(hi + 1)
+                    .map(|b| b as usize + 1)
                     .unwrap_or(self.block_rank.len() - 1);
                 // The whole window the binary search can touch (8 u64
                 // directory entries per line; cap the round for very
@@ -332,10 +334,10 @@ impl Fid {
         }
         let hints = if bit { &self.hints1 } else { &self.hints0 };
         let hi = k / SELECT_SAMPLE;
-        let lo_block = hints[hi] as usize;
+        let lo_block = hints.get(hi) as usize;
         let hi_block = hints
-            .get(hi + 1)
-            .map(|&b| b as usize + 1)
+            .get_opt(hi + 1)
+            .map(|b| b as usize + 1)
             .unwrap_or(self.block_rank.len() - 1);
         // Binary search for the block containing the k-th target bit.
         let count_before = |blk: usize| {
@@ -417,11 +419,69 @@ impl BitSelect for Fid {
 impl SpaceUsage for Fid {
     fn size_bits(&self) -> usize {
         self.bits.size_bits()
-            + self.block_rank.capacity() * 64
-            + self.sub_rank.capacity() * 64
-            + self.hints1.capacity() * 32
-            + self.hints0.capacity() * 32
+            + self.block_rank.size_bits()
+            + self.sub_rank.size_bits()
+            + self.hints1.size_bits()
+            + self.hints0.size_bits()
             + 64
+    }
+}
+
+impl Persist for Fid {
+    fn encode(&self, out: &mut Vec<u64>) {
+        self.bits.encode(out);
+        self.block_rank.encode(out);
+        self.sub_rank.encode(out);
+        out.push(self.ones as u64);
+        self.hints1.encode(out);
+        self.hints0.encode(out);
+    }
+
+    fn decode(r: &mut WordsReader) -> Result<Self, LoadError> {
+        let bits = RawBitVec::decode(r)?;
+        let block_rank = Words::decode(r)?;
+        let sub_rank = Words::decode(r)?;
+        let ones = r.read_len()?;
+        let hints1 = U32Words::decode(r)?;
+        let hints0 = U32Words::decode(r)?;
+        // Structural invariants the query paths rely on, all checked at
+        // directory (word) granularity — never per bit.
+        let n_blocks = bits.len().div_ceil(BLOCK_BITS).max(1);
+        if block_rank.len() != n_blocks + 1 || sub_rank.len() != n_blocks {
+            return Err(LoadError::Invalid("fid directory length"));
+        }
+        if block_rank[0] != 0 || block_rank[n_blocks] != ones as u64 || ones > bits.len() {
+            return Err(LoadError::Invalid("fid rank totals"));
+        }
+        for b in 0..n_blocks {
+            if block_rank[b + 1] < block_rank[b]
+                || block_rank[b + 1] - block_rank[b] > BLOCK_BITS as u64
+            {
+                return Err(LoadError::Invalid("fid rank directory not monotone"));
+            }
+        }
+        let zeros = bits.len() - ones;
+        if hints1.len() != ones.div_ceil(SELECT_SAMPLE)
+            || hints0.len() != zeros.div_ceil(SELECT_SAMPLE)
+        {
+            return Err(LoadError::Invalid("fid hint length"));
+        }
+        for hints in [&hints1, &hints0] {
+            for k in 0..hints.len() {
+                let b = hints.get(k) as usize;
+                if b >= n_blocks || (k > 0 && b < hints.get(k - 1) as usize) {
+                    return Err(LoadError::Invalid("fid hint out of range"));
+                }
+            }
+        }
+        Ok(Fid {
+            bits,
+            block_rank,
+            sub_rank,
+            ones,
+            hints1,
+            hints0,
+        })
     }
 }
 

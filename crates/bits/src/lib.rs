@@ -32,8 +32,10 @@ pub mod elias_fano;
 pub mod entropy;
 pub mod fid;
 pub mod offset;
+pub mod persist;
 pub mod raw;
 pub mod rrr;
+pub mod words;
 
 pub use append_only::{AppendBitVec, AppendConfig};
 pub use dynamic::DynamicBitVec;
@@ -41,5 +43,7 @@ pub use elias_fano::EliasFano;
 pub use entropy::SpaceUsage;
 pub use fid::{BitAccess, BitRank, BitSelect, Fid};
 pub use offset::OffsetBitVec;
+pub use persist::{LoadError, Persist};
 pub use raw::RawBitVec;
 pub use rrr::{RrrBuilder, RrrVector};
+pub use words::{U32Words, Words};

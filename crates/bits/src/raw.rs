@@ -1,9 +1,14 @@
 //! Word-packed growable bit array.
 //!
 //! [`RawBitVec`] is the storage layer every other structure in this crate is
-//! built on: a plain `Vec<u64>` with bit-granular addressing. Bit `i` lives
+//! built on: flat `u64` words with bit-granular addressing. Bit `i` lives
 //! in word `i / 64` at bit `i % 64` (LSB-first within a word), the standard
-//! layout for succinct data structures.
+//! layout for succinct data structures. Storage is a [`Words`] arena slot:
+//! owned when built incrementally, a borrowed view when loaded zero-copy
+//! from an archive (mutation copies the view out first).
+
+use crate::persist::{LoadError, Persist, WordsReader};
+use crate::words::Words;
 
 /// A growable, word-packed bit vector with no indexing structures.
 ///
@@ -12,7 +17,7 @@
 /// [`crate::RrrVector`], and friends.
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct RawBitVec {
-    words: Vec<u64>,
+    words: Words,
     len: usize,
 }
 
@@ -26,7 +31,7 @@ impl RawBitVec {
     /// Creates an empty bit vector with room for `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
         Self {
-            words: Vec::with_capacity(bits.div_ceil(64)),
+            words: Words::with_capacity(bits.div_ceil(64)),
             len: 0,
         }
     }
@@ -38,7 +43,10 @@ impl RawBitVec {
         if bit {
             Self::mask_tail(&mut words, len);
         }
-        Self { words, len }
+        Self {
+            words: words.into(),
+            len,
+        }
     }
 
     /// Builds from an iterator of bits.
@@ -116,7 +124,7 @@ impl RawBitVec {
             "bit index {i} out of bounds (len {})",
             self.len
         );
-        let w = &mut self.words[i / 64];
+        let w = &mut self.words.make_mut()[i / 64];
         let mask = 1u64 << (i % 64);
         if bit {
             *w |= mask;
@@ -129,11 +137,13 @@ impl RawBitVec {
     #[inline]
     pub fn push(&mut self, bit: bool) {
         let w = self.len / 64;
-        if w == self.words.len() {
-            self.words.push(0);
+        let off = self.len % 64;
+        let words = self.words.make_mut();
+        if w == words.len() {
+            words.push(0);
         }
         if bit {
-            self.words[w] |= 1u64 << (self.len % 64);
+            words[w] |= 1u64 << off;
         }
         self.len += 1;
     }
@@ -175,21 +185,22 @@ impl RawBitVec {
             return;
         }
         let off = self.len % 64;
+        let words = self.words.make_mut();
         if off == 0 {
-            self.words.push(value);
+            words.push(value);
         } else {
-            let w = self.words.len() - 1;
-            self.words[w] |= value << off;
+            let w = words.len() - 1;
+            words[w] |= value << off;
             let got = 64 - off;
             if width > got {
-                self.words.push(value >> got);
+                words.push(value >> got);
             }
         }
         self.len += width;
         // Clear any garbage bits beyond len introduced by the shifted store.
         let full = self.len.div_ceil(64);
-        self.words.truncate(full);
-        Self::mask_tail(&mut self.words, self.len);
+        words.truncate(full);
+        Self::mask_tail(words, self.len);
     }
 
     /// Appends `n` copies of `bit`, one word at a time.
@@ -227,19 +238,22 @@ impl RawBitVec {
             return;
         }
         self.len = len;
-        self.words.truncate(len.div_ceil(64));
-        Self::mask_tail(&mut self.words, len);
+        let words = self.words.make_mut();
+        words.truncate(len.div_ceil(64));
+        Self::mask_tail(words, len);
     }
 
     /// Drops excess word capacity (used when sealing/flushing an encoding
     /// so long-lived vectors carry no growth slack).
     pub fn shrink_to_fit(&mut self) {
-        self.words.shrink_to_fit();
+        if let Words::Owned(v) = &mut self.words {
+            v.shrink_to_fit();
+        }
     }
 
     /// Removes all bits.
     pub fn clear(&mut self) {
-        self.words.clear();
+        self.words.make_mut().clear();
         self.len = 0;
     }
 
@@ -320,9 +334,36 @@ impl RawBitVec {
         (0..self.len).map(move |i| unsafe { self.get_unchecked(i) })
     }
 
-    /// Heap + inline size in bits (for the space experiments).
+    /// The storage slot: owned words, or a view into a loaded archive.
+    #[inline]
+    pub fn storage(&self) -> &Words {
+        &self.words
+    }
+
+    /// Heap + inline size in bits (for the space experiments). A loaded
+    /// (view-backed) vector counts its span of the shared archive buffer.
     pub fn size_bits(&self) -> usize {
-        self.words.capacity() * 64 + 2 * 64
+        self.words.size_bits() + 2 * 64
+    }
+}
+
+impl Persist for RawBitVec {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.len as u64);
+        out.extend_from_slice(&self.words);
+    }
+
+    fn decode(r: &mut WordsReader) -> Result<Self, LoadError> {
+        let len = r.read_len()?;
+        let words = r.view(len.div_ceil(64))?;
+        // Invariant the mutators maintain: padding past `len` is zero.
+        // Checking it here keeps loaded vectors byte-stable on re-save and
+        // keeps count_ones/word-level scans honest.
+        let tail = len % 64;
+        if tail != 0 && words[words.len() - 1] >> tail != 0 {
+            return Err(LoadError::Invalid("nonzero bitvector tail padding"));
+        }
+        Ok(RawBitVec { words, len })
     }
 }
 

@@ -15,6 +15,8 @@
 //! global binary search (DESIGN.md substitutions #1/#9).
 
 use crate::broadword::{prefetch_read, select_block, PIPELINE_LANES as BATCH_LANES};
+use crate::persist::{LoadError, Persist, WordsReader};
+use crate::words::{U32Words, Words};
 use crate::{BitAccess, BitRank, BitSelect, RawBitVec, SpaceUsage};
 
 /// Bits per RRR block; 63 so class+offset arithmetic fits in `u64`.
@@ -109,14 +111,49 @@ fn block_unrank_offset(mut off: u64, c: u32) -> u64 {
     word
 }
 
-/// One superblock directory entry: absolute rank and absolute offset-stream
-/// bit pointer, packed together so a block locate touches one cache line.
-#[derive(Clone, Copy, Debug)]
-struct SbEntry {
-    /// Ones before this superblock.
-    rank: u64,
-    /// Bit index into `offsets` at this superblock's start.
-    ptr: u64,
+/// Superblock directory: per entry an absolute rank and an absolute
+/// offset-stream bit pointer, interleaved `(rank, ptr)` pairs in word
+/// storage so a block locate touches one cache line and the directory
+/// serializes as-is.
+#[derive(Clone, Debug, Default)]
+struct SbDir {
+    words: Words,
+}
+
+impl SbDir {
+    fn from_parts(sb_rank: &[u64], sb_ptr: &[u64]) -> Self {
+        let mut words = Vec::with_capacity(sb_rank.len() * 2);
+        for (&r, &p) in sb_rank.iter().zip(sb_ptr) {
+            words.push(r);
+            words.push(p);
+        }
+        SbDir {
+            words: words.into(),
+        }
+    }
+
+    /// Number of entries (including the sentinel).
+    #[inline]
+    fn len(&self) -> usize {
+        self.words.len() / 2
+    }
+
+    /// Ones before superblock `i`.
+    #[inline]
+    fn rank(&self, i: usize) -> u64 {
+        self.words[2 * i]
+    }
+
+    /// Bit index into the offset stream at superblock `i`'s start.
+    #[inline]
+    fn ptr(&self, i: usize) -> u64 {
+        self.words[2 * i + 1]
+    }
+
+    #[inline]
+    fn prefetch(&self, i: usize) {
+        prefetch_read(self.words.as_ptr().wrapping_add(2 * i));
+    }
 }
 
 /// An immutable entropy-compressed bitvector with constant-time access/rank.
@@ -129,11 +166,11 @@ pub struct RrrVector {
     /// Variable-width combinatorial offsets, one per block.
     offsets: RawBitVec,
     /// Superblock directory (+ final sentinel).
-    sb: Vec<SbEntry>,
+    sb: SbDir,
     /// Superblock containing the `(k·SELECT_SAMPLE)`-th one.
-    hints1: Vec<u32>,
+    hints1: U32Words,
     /// Superblock containing the `(k·SELECT_SAMPLE)`-th zero.
-    hints0: Vec<u32>,
+    hints0: U32Words,
 }
 
 impl RrrVector {
@@ -187,9 +224,8 @@ impl RrrVector {
     #[inline]
     fn locate_block(&self, block: usize) -> (usize, usize, u32) {
         let sb = block / SB_BLOCKS;
-        let entry = self.sb[sb];
-        let mut rank = entry.rank as usize;
-        let mut ptr = entry.ptr as usize;
+        let mut rank = self.sb.rank(sb) as usize;
+        let mut ptr = self.sb.ptr(sb) as usize;
         let mut cls = self.sb_classes(sb, block % SB_BLOCKS + 1);
         for _ in sb * SB_BLOCKS..block {
             let c = (cls & 63) as usize;
@@ -301,7 +337,7 @@ impl RrrVector {
     #[inline]
     pub fn prefetch(&self, i: usize) {
         let sb = (i / RRR_BLOCK_BITS) / SB_BLOCKS;
-        prefetch_read(self.sb.as_ptr().wrapping_add(sb));
+        self.sb.prefetch(sb);
         let class_bit = sb * SB_BLOCKS * CLASS_BITS;
         self.classes.prefetch(class_bit);
         // The 16 packed classes can straddle a second word.
@@ -456,7 +492,7 @@ impl RrrVector {
 
     #[inline]
     fn zeros_before_sb(&self, sb: usize) -> usize {
-        (sb * SB_BLOCKS * RRR_BLOCK_BITS).min(self.len) - self.sb[sb].rank as usize
+        (sb * SB_BLOCKS * RRR_BLOCK_BITS).min(self.len) - self.sb.rank(sb) as usize
     }
 
     fn select_generic(&self, bit: bool, k: usize) -> Option<usize> {
@@ -466,7 +502,7 @@ impl RrrVector {
         }
         let count_before = |sb: usize| {
             if bit {
-                self.sb[sb].rank as usize
+                self.sb.rank(sb) as usize
             } else {
                 self.zeros_before_sb(sb)
             }
@@ -480,16 +516,16 @@ impl RrrVector {
             (0, self.sb.len() - 1)
         } else {
             let sample = k / SELECT_SAMPLE;
-            let lo = hints[sample] as usize;
+            let lo = hints.get(sample) as usize;
             let hi = hints
-                .get(sample + 1)
-                .map(|&s| s as usize + 1)
+                .get_opt(sample + 1)
+                .map(|s| s as usize + 1)
                 .unwrap_or(self.sb.len() - 1);
             (lo, hi)
         };
         let sb = select_block(lo_sb, hi_sb, k, count_before);
         let mut remaining = k - count_before(sb);
-        let mut ptr = self.sb[sb].ptr as usize;
+        let mut ptr = self.sb.ptr(sb) as usize;
         let mut cls = self.sb_classes(sb, SB_BLOCKS);
         // The directory guarantees the hit inside `sb`, so the walk is
         // bounded to one superblock even when `sb` is the last one.
@@ -647,19 +683,14 @@ impl RrrVector {
                 hints0.push(sb as u32);
             }
         }
-        let sb: Vec<SbEntry> = sb_rank
-            .iter()
-            .zip(&sb_ptr)
-            .map(|(&rank, &ptr)| SbEntry { rank, ptr })
-            .collect();
         RrrVector {
             len: target_len,
             ones,
             classes,
             offsets,
-            sb,
-            hints1,
-            hints0,
+            sb: SbDir::from_parts(&sb_rank, &sb_ptr),
+            hints1: U32Words::from_vec(hints1),
+            hints0: U32Words::from_vec(hints0),
         }
     }
 
@@ -729,10 +760,82 @@ impl SpaceUsage for RrrVector {
     fn size_bits(&self) -> usize {
         self.classes.size_bits()
             + self.offsets.size_bits()
-            + self.sb.capacity() * 128
-            + self.hints1.capacity() * 32
-            + self.hints0.capacity() * 32
+            + self.sb.words.size_bits()
+            + self.hints1.size_bits()
+            + self.hints0.size_bits()
             + 2 * 64
+    }
+}
+
+impl Persist for RrrVector {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.len as u64);
+        out.push(self.ones as u64);
+        self.classes.encode(out);
+        self.offsets.encode(out);
+        self.sb.words.encode(out);
+        self.hints1.encode(out);
+        self.hints0.encode(out);
+    }
+
+    fn decode(r: &mut WordsReader) -> Result<Self, LoadError> {
+        let len = r.read_len()?;
+        let ones = r.read_len()?;
+        let classes = RawBitVec::decode(r)?;
+        let offsets = RawBitVec::decode(r)?;
+        let sb = SbDir {
+            words: Words::decode(r)?,
+        };
+        let hints1 = U32Words::decode(r)?;
+        let hints0 = U32Words::decode(r)?;
+        // Directory-level invariants (no block is decoded here).
+        let n_blocks = len.div_ceil(RRR_BLOCK_BITS);
+        let n_sb = n_blocks.div_ceil(SB_BLOCKS);
+        if ones > len || classes.len() != n_blocks * CLASS_BITS {
+            return Err(LoadError::Invalid("rrr class stream length"));
+        }
+        if !sb.words.len().is_multiple_of(2) || sb.len() != n_sb + 1 {
+            return Err(LoadError::Invalid("rrr superblock directory length"));
+        }
+        if sb.rank(n_sb) != ones as u64 || sb.ptr(n_sb) != offsets.len() as u64 || sb.rank(0) != 0 {
+            return Err(LoadError::Invalid("rrr superblock sentinel"));
+        }
+        for i in 0..n_sb {
+            if sb.rank(i + 1) < sb.rank(i)
+                || sb.rank(i + 1) - sb.rank(i) > (SB_BLOCKS * RRR_BLOCK_BITS) as u64
+                || sb.ptr(i + 1) < sb.ptr(i)
+            {
+                return Err(LoadError::Invalid("rrr superblock directory not monotone"));
+            }
+        }
+        // Hints exist exactly when finalize would derive them.
+        let zeros = len - ones;
+        if sb.len() > 5 {
+            if hints1.len() != ones.div_ceil(SELECT_SAMPLE)
+                || hints0.len() != zeros.div_ceil(SELECT_SAMPLE)
+            {
+                return Err(LoadError::Invalid("rrr hint length"));
+            }
+        } else if !hints1.is_empty() || !hints0.is_empty() {
+            return Err(LoadError::Invalid("rrr unexpected hints"));
+        }
+        for hints in [&hints1, &hints0] {
+            for k in 0..hints.len() {
+                let s = hints.get(k) as usize;
+                if s > n_sb || (k > 0 && s < hints.get(k - 1) as usize) {
+                    return Err(LoadError::Invalid("rrr hint out of range"));
+                }
+            }
+        }
+        Ok(RrrVector {
+            len,
+            ones,
+            classes,
+            offsets,
+            sb,
+            hints1,
+            hints0,
+        })
     }
 }
 

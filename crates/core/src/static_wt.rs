@@ -12,6 +12,7 @@
 //! O(|s| + h_s).
 
 use crate::nav::TrieNav;
+use wt_bits::persist::{kind, Archive, ArchiveWriter, LoadError, Persist};
 use wt_bits::{BitAccess, BitRank, BitSelect, EliasFano, Fid, RawBitVec, RrrVector, SpaceUsage};
 use wt_trie::dfuds::Dfuds;
 use wt_trie::{BitStr, BitString, PrefixFreeViolation};
@@ -617,6 +618,143 @@ impl WaveletTrie {
     /// `n·H0(S)` in bits.
     pub fn nh0_bits(&self) -> f64 {
         self.nh0_bits
+    }
+}
+
+// --- persistence -------------------------------------------------------------
+
+/// Section tags of a Wavelet-Trie archive, one per component.
+mod sec {
+    pub const META: u32 = 0;
+    pub const TREE: u32 = 1;
+    pub const LABELS: u32 = 2;
+    pub const LABEL_BOUNDS: u32 = 3;
+    pub const INTERNAL: u32 = 4;
+    pub const BVS: u32 = 5;
+    pub const BV_BOUNDS: u32 = 6;
+    pub const BV_ONES: u32 = 7;
+}
+
+fn push_section<T: Persist>(w: &mut ArchiveWriter, tag: u32, value: &T) {
+    let mut payload = Vec::new();
+    value.encode(&mut payload);
+    w.section(tag, payload);
+}
+
+fn read_section<T: Persist>(a: &Archive, tag: u32) -> Result<T, LoadError> {
+    let mut r = a.section(tag)?;
+    let value = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+impl WaveletTrie {
+    /// Serializes to a versioned archive (see [`wt_bits::persist`]): one
+    /// section per succinct component, each individually checksummed.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        self.write_archive(kind::WAVELET_TRIE)
+    }
+
+    /// Loads an archive written by [`WaveletTrie::save_bytes`].
+    ///
+    /// *Validate-then-view*: after the header, bounds and checksum checks
+    /// every component reinterprets its section of the (single) archive
+    /// buffer in place — no bitvector is decoded or rebuilt, so loading is
+    /// O(bytes) with a small constant.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, LoadError> {
+        Self::read_archive(bytes, kind::WAVELET_TRIE)
+    }
+
+    /// [`WaveletTrie::save_bytes`] to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.save_bytes())
+    }
+
+    /// [`WaveletTrie::load_bytes`] from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, LoadError> {
+        Self::load_bytes(&std::fs::read(path)?)
+    }
+
+    pub(crate) fn write_archive(&self, archive_kind: u32) -> Vec<u8> {
+        let mut w = ArchiveWriter::new(archive_kind);
+        w.section(
+            sec::META,
+            vec![
+                self.n as u64,
+                self.nh0_bits.to_bits(),
+                self.root_label_len as u64,
+            ],
+        );
+        push_section(&mut w, sec::TREE, &self.tree);
+        push_section(&mut w, sec::LABELS, &self.labels);
+        push_section(&mut w, sec::LABEL_BOUNDS, &self.label_bounds);
+        push_section(&mut w, sec::INTERNAL, &self.internal);
+        push_section(&mut w, sec::BVS, &self.bvs);
+        push_section(&mut w, sec::BV_BOUNDS, &self.bv_bounds);
+        push_section(&mut w, sec::BV_ONES, &self.bv_ones);
+        w.finish()
+    }
+
+    pub(crate) fn read_archive(bytes: &[u8], archive_kind: u32) -> Result<Self, LoadError> {
+        let a = Archive::parse(bytes, archive_kind)?;
+        let mut meta = a.section(sec::META)?;
+        let n = meta.read_len()?;
+        let nh0_bits = meta.read_f64()?;
+        let root_label_len = meta.read_len()?;
+        meta.finish()?;
+        let tree: Dfuds = read_section(&a, sec::TREE)?;
+        let labels: RawBitVec = read_section(&a, sec::LABELS)?;
+        let label_bounds: EliasFano = read_section(&a, sec::LABEL_BOUNDS)?;
+        let internal: Fid = read_section(&a, sec::INTERNAL)?;
+        let bvs: RrrVector = read_section(&a, sec::BVS)?;
+        let bv_bounds: EliasFano = read_section(&a, sec::BV_BOUNDS)?;
+        let bv_ones: EliasFano = read_section(&a, sec::BV_ONES)?;
+        // Cross-component invariants — O(1) directory-length probes that
+        // pin every index computed on the query path inside bounds.
+        let n_nodes = tree.n_nodes();
+        if (n == 0) != (n_nodes == 0) {
+            return Err(LoadError::Invalid("empty trie encoding"));
+        }
+        if n_nodes > 0 && n < n_nodes.div_ceil(2) {
+            return Err(LoadError::Invalid("fewer strings than leaves"));
+        }
+        if label_bounds.len() != n_nodes + 1 {
+            return Err(LoadError::Invalid("label delimiter count"));
+        }
+        if labels.len() as u64 != label_bounds.get(n_nodes) {
+            return Err(LoadError::Invalid("label concatenation length"));
+        }
+        if root_label_len > labels.len() {
+            return Err(LoadError::Invalid("root label length"));
+        }
+        if internal.len() != n_nodes {
+            return Err(LoadError::Invalid("internal-flag length"));
+        }
+        let internals = internal.count_ones();
+        if bv_bounds.len() != internals + 1 || bv_ones.len() != internals + 1 {
+            return Err(LoadError::Invalid("bitvector delimiter count"));
+        }
+        if bvs.len() as u64 != bv_bounds.get(internals) {
+            return Err(LoadError::Invalid("bitvector concatenation length"));
+        }
+        if bvs.count_ones() as u64 != bv_ones.get(internals) {
+            return Err(LoadError::Invalid("bitvector ones directory"));
+        }
+        if !nh0_bits.is_finite() || nh0_bits < 0.0 {
+            return Err(LoadError::Invalid("entropy metadata"));
+        }
+        Ok(WaveletTrie {
+            n,
+            tree,
+            labels,
+            label_bounds,
+            internal,
+            bvs,
+            bv_bounds,
+            bv_ones,
+            nh0_bits,
+            root_label_len,
+        })
     }
 }
 

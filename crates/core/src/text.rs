@@ -267,6 +267,34 @@ impl IndexedStrings {
         &self.inner
     }
 
+    /// Serializes to a versioned `.wt` archive (see [`wt_bits::persist`]).
+    /// The byte image is the same as [`WaveletTrie::save_bytes`] apart from
+    /// the structure kind in the header, which records that these bit
+    /// strings are [`NinthBitCoder`]-encoded bytes.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        self.inner
+            .write_archive(wt_bits::persist::kind::INDEXED_STRINGS)
+    }
+
+    /// Loads an archive written by [`IndexedStrings::save_bytes`] —
+    /// validate-then-view, no bitvector rebuilds.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, wt_bits::LoadError> {
+        Ok(IndexedStrings {
+            inner: WaveletTrie::read_archive(bytes, wt_bits::persist::kind::INDEXED_STRINGS)?,
+            coder: NinthBitCoder,
+        })
+    }
+
+    /// [`IndexedStrings::save_bytes`] to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.save_bytes())
+    }
+
+    /// [`IndexedStrings::load_bytes`] from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, wt_bits::LoadError> {
+        Self::load_bytes(&std::fs::read(path)?)
+    }
+
     string_facade_queries!();
 }
 

@@ -17,6 +17,8 @@
 //! `excess(i)` is the sum over `[0, i)`.
 
 use wt_bits::broadword::{min_prefix_excess, pad_open_above, word_excess, ExcessWord};
+use wt_bits::persist::{LoadError, Persist, WordsReader};
+use wt_bits::words::Words;
 use wt_bits::{BitAccess, BitRank, Fid, RawBitVec};
 
 /// Bits per rmM leaf block (a multiple of 64 so blocks are word-aligned).
@@ -49,6 +51,48 @@ const RMM_EMPTY: RmmNode = RmmNode {
     max: i32::MIN,
 };
 
+/// The rmM tree packed as `i32` triples `(tot, min, max)` two-per-word in
+/// [`Words`] storage — 12 bytes per node like the struct array it replaces,
+/// but relocatable, so a loaded tree is a view into the archive buffer.
+#[derive(Clone, Debug, Default)]
+struct RmmDir {
+    words: Words,
+    len: usize,
+}
+
+impl RmmDir {
+    fn from_nodes(nodes: &[RmmNode]) -> Self {
+        let n_i32 = nodes.len() * 3;
+        let mut words = vec![0u64; n_i32.div_ceil(2)];
+        for (k, n) in nodes.iter().enumerate() {
+            for (j, v) in [n.tot, n.min, n.max].into_iter().enumerate() {
+                let idx = 3 * k + j;
+                words[idx / 2] |= ((v as u32) as u64) << (32 * (idx % 2));
+            }
+        }
+        RmmDir {
+            words: words.into(),
+            len: nodes.len(),
+        }
+    }
+
+    #[inline]
+    fn i32_at(&self, idx: usize) -> i32 {
+        (self.words[idx / 2] >> (32 * (idx % 2))) as u32 as i32
+    }
+
+    /// Node `k`; the three halves live in at most two adjacent words.
+    #[inline]
+    fn get(&self, k: usize) -> RmmNode {
+        debug_assert!(k < self.len);
+        RmmNode {
+            tot: self.i32_at(3 * k),
+            min: self.i32_at(3 * k + 1),
+            max: self.i32_at(3 * k + 2),
+        }
+    }
+}
+
 /// Balanced-parentheses bitvector with rank/select and matching navigation.
 #[derive(Clone, Debug)]
 pub struct BpSupport {
@@ -56,7 +100,7 @@ pub struct BpSupport {
     /// Number of rmM leaves (power of two ≥ number of blocks).
     leaves: usize,
     /// rmM segment tree, 1-indexed.
-    rmm: Vec<RmmNode>,
+    rmm: RmmDir,
 }
 
 impl BpSupport {
@@ -87,13 +131,13 @@ impl BpSupport {
         BpSupport {
             bits: Fid::new(bits),
             leaves,
-            rmm,
+            rmm: RmmDir::from_nodes(&rmm),
         }
     }
 
     /// Bits the rmM directory occupies (for space accounting).
     pub fn directory_bits(&self) -> usize {
-        self.rmm.capacity() * std::mem::size_of::<RmmNode>() * 8 + 64
+        self.rmm.words.size_bits() + 64
     }
 
     fn block_summary(bits: &RawBitVec, b: usize) -> RmmNode {
@@ -200,12 +244,12 @@ impl BpSupport {
                 return None;
             }
             node += 1; // right sibling
-            let s = self.rmm[node];
+            let s = self.rmm.get(node);
             if s.min != i32::MAX && running + s.min as i64 <= target {
                 // Descend to the leftmost reachable leaf.
                 while node < self.leaves {
                     let l = 2 * node;
-                    let ls = self.rmm[l];
+                    let ls = self.rmm.get(l);
                     if ls.min != i32::MAX && running + ls.min as i64 <= target {
                         node = l;
                     } else {
@@ -302,11 +346,11 @@ impl BpSupport {
                     && running - s.tot as i64 + (s.min as i64).min(0) <= target
                     && running - s.tot as i64 + (s.max as i64).max(0) >= target
             };
-            let s = self.rmm[node];
+            let s = self.rmm.get(node);
             if reach(s, running) {
                 while node < self.leaves {
                     let r = 2 * node + 1;
-                    let rs = self.rmm[r];
+                    let rs = self.rmm.get(r);
                     if reach(rs, running) {
                         node = r;
                     } else {
@@ -371,6 +415,34 @@ impl BpSupport {
             ce = cs;
         }
         Err(target + d)
+    }
+}
+
+impl Persist for BpSupport {
+    fn encode(&self, out: &mut Vec<u64>) {
+        self.bits.encode(out);
+        out.push(self.leaves as u64);
+        out.push(self.rmm.len as u64);
+        self.rmm.words.encode(out);
+    }
+
+    fn decode(r: &mut WordsReader) -> Result<Self, LoadError> {
+        let bits = Fid::decode(r)?;
+        let leaves = r.read_len()?;
+        let len = r.read_len()?;
+        let words = Words::decode(r)?;
+        let n_blocks = bits.len().div_ceil(BLOCK).max(1);
+        if leaves != n_blocks.next_power_of_two() || len != 2 * leaves {
+            return Err(LoadError::Invalid("rmM tree shape"));
+        }
+        if words.len() != (3 * len).div_ceil(2) {
+            return Err(LoadError::Invalid("rmM directory length"));
+        }
+        Ok(BpSupport {
+            bits,
+            leaves,
+            rmm: RmmDir { words, len },
+        })
     }
 }
 

@@ -12,7 +12,8 @@
 //! substitution #6).
 
 use crate::bp::BpSupport;
-use wt_bits::broadword::prefetch_read;
+use wt_bits::persist::{LoadError, Persist, WordsReader};
+use wt_bits::words::U32Words;
 use wt_bits::{BitRank, BitSelect, RawBitVec, SpaceUsage};
 
 /// A static ordinal tree with succinct navigation.
@@ -30,7 +31,7 @@ pub struct Dfuds {
     /// cache-resident, where the rmM excursion is cheap and the directory
     /// would dominate the tree's own space — and only while positions fit
     /// `u32`; callers fall back to the BP excursion when absent.
-    child1: Vec<u32>,
+    child1: U32Words,
 }
 
 /// BP size (bits) from which [`Dfuds`] builds the second-child directory.
@@ -97,7 +98,7 @@ impl Dfuds {
         Dfuds {
             bp: BpSupport::new(bits),
             n_nodes,
-            child1,
+            child1: U32Words::from_vec(child1),
         }
     }
 
@@ -194,13 +195,13 @@ impl Dfuds {
     /// The result is meaningful only for nodes of degree ≥ 2.
     #[inline]
     pub fn child1_by_internal_rank(&self, j: usize) -> Option<NodeId> {
-        self.child1.get(j).map(|&p| p as usize)
+        self.child1.get_opt(j).map(|p| p as usize)
     }
 
     /// Hints the CPU towards the `j`-th skip-directory entry.
     #[inline]
     pub fn prefetch_child1(&self, j: usize) {
-        prefetch_read(self.child1.as_ptr().wrapping_add(j));
+        self.child1.prefetch(j);
     }
 
     /// The `i`-th (0-based) child of `v`.
@@ -259,7 +260,48 @@ impl SpaceUsage for Dfuds {
     fn size_bits(&self) -> usize {
         // BP bits + its Fid directory + rmM tree + the second-child skip
         // directory, plus our node counter.
-        self.bp.fid().size_bits() + self.bp.directory_bits() + self.child1.capacity() * 32 + 64
+        self.bp.fid().size_bits() + self.bp.directory_bits() + self.child1.size_bits() + 64
+    }
+}
+
+impl Persist for Dfuds {
+    fn encode(&self, out: &mut Vec<u64>) {
+        self.bp.encode(out);
+        out.push(self.n_nodes as u64);
+        self.child1.encode(out);
+    }
+
+    fn decode(r: &mut WordsReader) -> Result<Self, LoadError> {
+        let bp = BpSupport::decode(r)?;
+        let n_nodes = r.read_len()?;
+        let child1 = U32Words::decode(r)?;
+        // 1 virtual-root '(' + per node its opens and one ')': the bit
+        // count pins the node count (each node past the root contributes
+        // its own ')' and its parent slot's '(').
+        if n_nodes == 0 {
+            if !bp.is_empty() {
+                return Err(LoadError::Invalid("dfuds empty-tree encoding"));
+            }
+        } else if bp.len() != 2 * n_nodes {
+            return Err(LoadError::Invalid("dfuds bit count vs node count"));
+        }
+        // The skip directory exists exactly for the size window the
+        // builder uses; its entries are bounded by the encoding length.
+        if !child1.is_empty() {
+            if !(CHILD1_DIR_MIN_BITS..=u32::MAX as usize).contains(&bp.len()) {
+                return Err(LoadError::Invalid("dfuds unexpected skip directory"));
+            }
+            for j in 0..child1.len() {
+                if child1.get(j) as usize >= bp.len() {
+                    return Err(LoadError::Invalid("dfuds skip entry out of range"));
+                }
+            }
+        }
+        Ok(Dfuds {
+            bp,
+            n_nodes,
+            child1,
+        })
     }
 }
 

@@ -1,0 +1,199 @@
+//! Golden-fixture compatibility suite: small canonical `.wt` archives
+//! checked into `tests/fixtures/` freeze format version 1 on disk. Two
+//! guarantees per fixture:
+//!
+//! * **reader compat** — the loader reads the checked-in bytes and answers
+//!   bit-identically to a structure freshly built from the same input;
+//! * **writer compat** — re-serializing that freshly built structure
+//!   reproduces the checked-in bytes exactly.
+//!
+//! Any intentional format change must bump `FORMAT_VERSION` and regenerate
+//! the fixtures: `WT_REGEN_FIXTURES=1 cargo test --test golden_fixtures`.
+
+use std::path::PathBuf;
+
+use wavelet_trie::IndexedStrings;
+use wt_bits::persist::{kind, to_bytes};
+use wt_bits::{BitAccess, BitRank, EliasFano, RawBitVec, RrrVector};
+use wt_store::{StoreConfig, TieredStrings};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn regen() -> bool {
+    std::env::var_os("WT_REGEN_FIXTURES").is_some()
+}
+
+/// Checks (or regenerates) one single-file fixture.
+fn check_fixture(name: &str, canonical: &[u8]) {
+    let path = fixture_dir().join(name);
+    if regen() {
+        std::fs::create_dir_all(fixture_dir()).unwrap();
+        std::fs::write(&path, canonical).unwrap();
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {name} ({e}); regenerate with WT_REGEN_FIXTURES=1")
+    });
+    assert_eq!(
+        golden, canonical,
+        "writer no longer reproduces fixture {name}: the on-disk format \
+         changed without a FORMAT_VERSION bump"
+    );
+}
+
+/// Deterministic bit pattern shared by the bits-level fixtures.
+fn fixture_bits() -> Vec<bool> {
+    let mut s = 0x5EEDu64;
+    (0..777)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s.is_multiple_of(3)
+        })
+        .collect()
+}
+
+/// The URL log behind the trie-level fixtures (the §1 workload in
+/// miniature, with duplicates and shared prefixes).
+fn fixture_urls() -> Vec<String> {
+    let hosts = ["a.com", "b.org", "c.net"];
+    let mut urls = Vec::new();
+    for round in 0..5 {
+        for (i, h) in hosts.iter().enumerate() {
+            urls.push(format!("http://{h}/page{}", (round * 7 + i * 3) % 9));
+            urls.push(format!("http://{h}/"));
+        }
+    }
+    urls
+}
+
+#[test]
+fn raw_bitvec_fixture() {
+    let mut bv = RawBitVec::new();
+    for b in fixture_bits() {
+        bv.push(b);
+    }
+    check_fixture("raw-v1.wt", &to_bytes(kind::RAW, &bv));
+    if regen() {
+        return;
+    }
+    let bytes = std::fs::read(fixture_dir().join("raw-v1.wt")).unwrap();
+    let loaded: RawBitVec = wt_bits::persist::from_bytes(kind::RAW, &bytes).unwrap();
+    for (i, b) in fixture_bits().into_iter().enumerate() {
+        assert_eq!(loaded.get(i), b, "bit {i}");
+    }
+}
+
+#[test]
+fn rrr_fixture() {
+    let rrr = RrrVector::from_bits(fixture_bits());
+    check_fixture("rrr-v1.wt", &to_bytes(kind::RRR, &rrr));
+    if regen() {
+        return;
+    }
+    let bytes = std::fs::read(fixture_dir().join("rrr-v1.wt")).unwrap();
+    let loaded: RrrVector = wt_bits::persist::from_bytes(kind::RRR, &bytes).unwrap();
+    let bits = fixture_bits();
+    assert_eq!(loaded.len(), bits.len());
+    let mut ones = 0;
+    for (i, b) in bits.into_iter().enumerate() {
+        assert_eq!(loaded.rank1(i), ones, "rank1({i})");
+        assert_eq!(loaded.get(i), b, "bit {i}");
+        ones += b as usize;
+    }
+}
+
+#[test]
+fn elias_fano_fixture() {
+    let values: Vec<u64> = (0..300u64).map(|i| i * i % 7919 + i).collect();
+    let mut sorted = values;
+    sorted.sort_unstable();
+    let ef = EliasFano::new(&sorted);
+    check_fixture("ef-v1.wt", &to_bytes(kind::ELIAS_FANO, &ef));
+    if regen() {
+        return;
+    }
+    let bytes = std::fs::read(fixture_dir().join("ef-v1.wt")).unwrap();
+    let loaded: EliasFano = wt_bits::persist::from_bytes(kind::ELIAS_FANO, &bytes).unwrap();
+    for (i, &v) in sorted.iter().enumerate() {
+        assert_eq!(loaded.get(i), v, "get({i})");
+    }
+}
+
+#[test]
+fn indexed_strings_fixture() {
+    let idx = IndexedStrings::build(fixture_urls());
+    check_fixture("urls-v1.wt", &idx.save_bytes());
+    if regen() {
+        return;
+    }
+    let loaded = IndexedStrings::load(fixture_dir().join("urls-v1.wt")).unwrap();
+    let urls = fixture_urls();
+    assert_eq!(loaded.len(), urls.len());
+    for (i, u) in urls.iter().enumerate() {
+        assert_eq!(&loaded.get_string(i), u, "access({i})");
+    }
+    assert_eq!(loaded.count("http://a.com/"), 5);
+    assert_eq!(loaded.count_prefix("http://b.org/"), 10);
+    assert_eq!(
+        loaded.distinct_len(),
+        IndexedStrings::build(fixture_urls()).distinct_len()
+    );
+}
+
+#[test]
+fn tiered_store_fixture() {
+    // A store with sealed segments AND a non-empty hot tail, built
+    // deterministically (serial seal so the image is machine-independent).
+    let mut st = TieredStrings::with_config(StoreConfig {
+        seal_at: 10,
+        max_sealed: 4,
+    });
+    for u in fixture_urls() {
+        st.push(u);
+    }
+    let dir = fixture_dir().join("store-v1");
+    if regen() {
+        let _ = std::fs::remove_dir_all(&dir);
+        st.save_dir(&dir).unwrap();
+        return;
+    }
+    // Writer compat: every file byte-identical to a fresh save.
+    let tmp = std::env::temp_dir().join(format!("wt-golden-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    st.save_dir(&tmp).unwrap();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("missing fixture dir store-v1; regenerate with WT_REGEN_FIXTURES=1")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    let mut fresh: Vec<String> = std::fs::read_dir(&tmp)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    fresh.sort();
+    assert_eq!(names, fresh, "store fixture file set changed");
+    for name in &names {
+        assert_eq!(
+            std::fs::read(dir.join(name)).unwrap(),
+            std::fs::read(tmp.join(name)).unwrap(),
+            "store fixture file {name} changed"
+        );
+    }
+    std::fs::remove_dir_all(&tmp).unwrap();
+    // Reader compat: the checked-in directory loads and answers like the
+    // freshly built store.
+    let loaded = TieredStrings::load_dir(&dir).unwrap();
+    assert_eq!(loaded.len(), st.len());
+    assert_eq!(loaded.sealed_segments(), st.sealed_segments());
+    for i in 0..st.len() {
+        assert_eq!(loaded.get_string(i), st.get_string(i), "access({i})");
+    }
+    assert_eq!(
+        loaded.count_prefix("http://c.net/"),
+        st.count_prefix("http://c.net/")
+    );
+}

@@ -1,0 +1,462 @@
+//! Round-trip property suite for the zero-copy persistence layer: every
+//! persistent container — `RawBitVec`, `Fid`, `RrrVector`, `EliasFano`,
+//! `BpSupport`, `Dfuds`, `WaveletTrie`, `IndexedStrings`, `TieredStore` —
+//! must answer **bit-identically** after a save → load cycle, across
+//! randomized workloads and the degenerate shapes (empty, singleton,
+//! all-equal, deep-skewed), and a save-after-load-after-save must
+//! reproduce the byte image exactly (the canonical-form invariant the
+//! golden fixtures rely on).
+
+use wavelet_trie::{BitString, IndexedStrings, SeqIndex, WaveletTrie};
+use wt_bits::persist::{from_bytes, kind, to_bytes};
+use wt_bits::{
+    BitAccess, BitRank, BitSelect, EliasFano, Fid, Persist, RawBitVec, RrrVector, SpaceUsage,
+};
+use wt_store::{StoreConfig, TieredStrings};
+use wt_trie::{BpSupport, Dfuds};
+
+fn xorshift(mut s: u64) -> impl FnMut() -> u64 {
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// Bit patterns covering the shapes the directories specialize on:
+/// empty, singleton, all-zero, all-one, dense-random, sparse, and a long
+/// run-structured vector (RRR's best case).
+fn bit_shapes() -> Vec<Vec<bool>> {
+    let mut rnd = xorshift(0xB175);
+    let mut shapes: Vec<Vec<bool>> = vec![
+        vec![],
+        vec![true],
+        vec![false],
+        vec![false; 1000],
+        vec![true; 1000],
+        (0..64).map(|i| i % 2 == 0).collect(),
+    ];
+    shapes.push((0..5000).map(|_| rnd() % 2 == 1).collect());
+    shapes.push((0..5000).map(|_| rnd().is_multiple_of(64)).collect());
+    shapes.push((0..5000).map(|i| (i / 97) % 2 == 0).collect());
+    shapes
+}
+
+/// Round-trips `value` through bytes twice and checks byte stability.
+fn roundtrip<T: Persist>(archive_kind: u32, value: &T) -> T {
+    let bytes = to_bytes(archive_kind, value);
+    let loaded: T = from_bytes(archive_kind, &bytes).expect("valid archive must load");
+    let rebytes = to_bytes(archive_kind, &loaded);
+    assert_eq!(bytes, rebytes, "save-after-load must be byte-stable");
+    loaded
+}
+
+#[test]
+fn raw_bitvec_roundtrip() {
+    for bits in bit_shapes() {
+        let mut bv = RawBitVec::new();
+        for &b in &bits {
+            bv.push(b);
+        }
+        let loaded = roundtrip(kind::RAW, &bv);
+        assert_eq!(loaded.len(), bv.len());
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(loaded.get(i), b, "bit {i}");
+        }
+    }
+}
+
+#[test]
+fn fid_roundtrip() {
+    for bits in bit_shapes() {
+        let fid = Fid::from_bits(bits.iter().copied());
+        let loaded = roundtrip(kind::FID, &fid);
+        assert_eq!(loaded.len(), fid.len());
+        assert_eq!(loaded.count_ones(), fid.count_ones());
+        for i in 0..bits.len() {
+            assert_eq!(loaded.get(i), fid.get(i), "get({i})");
+            assert_eq!(loaded.rank1(i), fid.rank1(i), "rank1({i})");
+        }
+        for k in 0..fid.count_ones() {
+            assert_eq!(loaded.select1(k), fid.select1(k), "select1({k})");
+        }
+        for k in 0..fid.len() - fid.count_ones() {
+            assert_eq!(loaded.select0(k), fid.select0(k), "select0({k})");
+        }
+    }
+}
+
+#[test]
+fn rrr_roundtrip() {
+    for bits in bit_shapes() {
+        let rrr = RrrVector::from_bits(bits.iter().copied());
+        let loaded = roundtrip(kind::RRR, &rrr);
+        assert_eq!(loaded.len(), rrr.len());
+        assert_eq!(loaded.count_ones(), rrr.count_ones());
+        for i in 0..bits.len() {
+            assert_eq!(loaded.get(i), rrr.get(i), "get({i})");
+            assert_eq!(loaded.rank1(i), rrr.rank1(i), "rank1({i})");
+        }
+        for k in (0..rrr.count_ones()).step_by(7.max(rrr.count_ones() / 50)) {
+            assert_eq!(loaded.select1(k), rrr.select1(k), "select1({k})");
+        }
+    }
+}
+
+#[test]
+fn elias_fano_roundtrip() {
+    let mut rnd = xorshift(0xEF);
+    let mut sequences: Vec<Vec<u64>> = vec![
+        vec![],
+        vec![0],
+        vec![42],
+        vec![7; 100], // all-equal (duplicates allowed)
+        (0..1000u64).collect(),
+    ];
+    let mut sparse: Vec<u64> = (0..500).map(|_| rnd() % 1_000_000).collect();
+    sparse.sort_unstable();
+    sequences.push(sparse);
+    for values in sequences {
+        let ef = EliasFano::new(&values);
+        let loaded = roundtrip(kind::ELIAS_FANO, &ef);
+        assert_eq!(loaded.len(), ef.len());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(loaded.get(i), v, "get({i})");
+        }
+        for probe in [0, 1, 500, 999_999, u64::MAX] {
+            assert_eq!(loaded.rank_leq(probe), ef.rank_leq(probe));
+            assert_eq!(loaded.predecessor_index(probe), ef.predecessor_index(probe));
+        }
+    }
+}
+
+/// Parenthesis sequences: balanced trees of several shapes, including the
+/// deep-skewed chain that stresses the rmM-tree excursions.
+fn paren_shapes() -> Vec<RawBitVec> {
+    let mut shapes = Vec::new();
+    let mut push_str = |s: &str| {
+        let mut bv = RawBitVec::new();
+        for c in s.chars() {
+            bv.push(c == '(');
+        }
+        shapes.push(bv);
+    };
+    push_str("");
+    push_str("()");
+    push_str("(())()((()))");
+    // deep-skewed: 2000 nested pairs
+    let deep: String = "(".repeat(2000) + &")".repeat(2000);
+    push_str(&deep);
+    // wide: 3000 sibling pairs under a root
+    let wide: String = "(".to_string() + &"()".repeat(3000) + ")";
+    push_str(&wide);
+    shapes
+}
+
+#[test]
+fn bp_roundtrip() {
+    for bits in paren_shapes() {
+        let bp = BpSupport::new(bits);
+        let bytes = to_bytes(kind::BP, &bp);
+        let loaded: BpSupport = from_bytes(kind::BP, &bytes).expect("valid BP archive");
+        assert_eq!(to_bytes(kind::BP, &loaded), bytes, "byte stability");
+        assert_eq!(loaded.len(), bp.len());
+        for i in 0..bp.len() {
+            assert_eq!(loaded.excess(i), bp.excess(i), "excess({i})");
+            if bp.is_open(i) {
+                assert_eq!(loaded.find_close(i), bp.find_close(i), "find_close({i})");
+            } else {
+                assert_eq!(loaded.find_open(i), bp.find_open(i), "find_open({i})");
+            }
+        }
+    }
+}
+
+#[test]
+fn dfuds_roundtrip() {
+    // Degree sequences in preorder: empty, single leaf, full binary trees,
+    // and a deep left-spine (every internal node has a leaf + internal
+    // child) — the deep-skewed shape for tree navigation.
+    let mut degree_seqs: Vec<Vec<usize>> = vec![vec![], vec![0], vec![2, 0, 0]];
+    let mut full = vec![2; 1023];
+    full.extend(vec![0; 1024]);
+    // preorder of a complete binary tree is interleaved, but any sequence
+    // with the right shape works; build it properly instead:
+    fn complete(depth: usize, out: &mut Vec<usize>) {
+        if depth == 0 {
+            out.push(0);
+        } else {
+            out.push(2);
+            complete(depth - 1, out);
+            complete(depth - 1, out);
+        }
+    }
+    let mut c = Vec::new();
+    complete(9, &mut c);
+    degree_seqs.push(c);
+    let mut spine = Vec::new();
+    for _ in 0..1500 {
+        spine.push(2);
+        spine.push(0); // left leaf
+    }
+    spine.push(0); // final right leaf
+    degree_seqs.push(spine);
+    let _ = full;
+    for degs in degree_seqs {
+        let t = Dfuds::from_degrees(degs.iter().copied());
+        let bytes = to_bytes(kind::DFUDS, &t);
+        let loaded: Dfuds = from_bytes(kind::DFUDS, &bytes).expect("valid DFUDS archive");
+        assert_eq!(to_bytes(kind::DFUDS, &loaded), bytes, "byte stability");
+        assert_eq!(loaded.n_nodes(), t.n_nodes());
+        assert_eq!(loaded.root(), t.root());
+        for (pid, v) in t.preorder_iter().enumerate() {
+            assert_eq!(loaded.by_preorder(pid), v);
+            assert_eq!(loaded.degree(v), t.degree(v), "degree({v})");
+            assert_eq!(loaded.parent(v), t.parent(v), "parent({v})");
+            for c in 0..t.degree(v) {
+                assert_eq!(loaded.child(v, c), t.child(v, c), "child({v},{c})");
+            }
+        }
+    }
+}
+
+/// String workloads for the trie-level structures, including the
+/// degenerate shapes: empty, singleton, all-equal, and a deep-skewed set
+/// (shared long prefix, so the trie degenerates toward a path).
+fn string_workloads() -> Vec<Vec<String>> {
+    let mut rnd = xorshift(0x57D5);
+    let mut workloads: Vec<Vec<String>> =
+        vec![vec![], vec!["one".into()], vec!["same".into(); 200]];
+    let deep_prefix = "x".repeat(120);
+    workloads.push((0..100).map(|i| format!("{deep_prefix}{i:03}")).collect());
+    let hosts = ["a.com", "b.org", "c.net", "d.io"];
+    workloads.push(
+        (0..800)
+            .map(|_| {
+                let h = hosts[(rnd() % 4) as usize];
+                format!("http://{h}/p{}", rnd() % 60)
+            })
+            .collect(),
+    );
+    workloads
+}
+
+fn check_wt_equal(a: &WaveletTrie, b: &WaveletTrie, strings: &[BitString]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.n_nodes(), b.n_nodes());
+    // Owned storage counts Vec capacity, views count their exact span, so
+    // the loaded footprint can only be at or below the built one.
+    assert!(
+        b.size_bits() <= a.size_bits(),
+        "loaded footprint {} above built {}",
+        b.size_bits(),
+        a.size_bits()
+    );
+    for (i, s) in strings.iter().enumerate() {
+        assert_eq!(b.access(i), *s, "access({i})");
+    }
+    for s in strings.iter().take(40) {
+        let q = s.as_bitstr();
+        assert_eq!(a.count(q), b.count(q));
+        assert_eq!(a.rank(q, strings.len() / 2), b.rank(q, strings.len() / 2));
+        assert_eq!(a.select(q, 0), b.select(q, 0));
+    }
+    if !strings.is_empty() {
+        assert_eq!(
+            a.distinct_in_range(0, a.seq_len()),
+            b.distinct_in_range(0, b.seq_len())
+        );
+    }
+}
+
+#[test]
+fn wavelet_trie_roundtrip() {
+    for strings in string_workloads() {
+        // 9-bit-ish manual prefix-free encoding via IndexedStrings' coder is
+        // exercised separately; here feed raw prefix-free bit strings.
+        let encoded: Vec<BitString> = strings
+            .iter()
+            .map(|s| {
+                let mut b = BitString::new();
+                for byte in s.bytes() {
+                    b.push(true);
+                    for k in (0..8).rev() {
+                        b.push((byte >> k) & 1 != 0);
+                    }
+                }
+                b.push(false); // terminator keeps the set prefix-free
+                b
+            })
+            .collect();
+        let wt = WaveletTrie::build(&encoded).expect("prefix-free");
+        let bytes = wt.save_bytes();
+        let loaded = WaveletTrie::load_bytes(&bytes).expect("valid archive");
+        assert_eq!(loaded.save_bytes(), bytes, "byte stability");
+        check_wt_equal(&wt, &loaded, &encoded);
+    }
+}
+
+#[test]
+fn indexed_strings_roundtrip() {
+    for strings in string_workloads() {
+        let idx = IndexedStrings::build(strings.iter().map(|s| s.as_bytes()));
+        let bytes = idx.save_bytes();
+        let loaded = IndexedStrings::load_bytes(&bytes).expect("valid archive");
+        assert_eq!(loaded.save_bytes(), bytes, "byte stability");
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.distinct_len(), idx.distinct_len());
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(&loaded.get_string(i), s, "access({i})");
+        }
+        for s in strings.iter().take(30) {
+            assert_eq!(loaded.count(s), idx.count(s));
+            assert_eq!(
+                loaded.count_prefix(&s[..s.len() / 2]),
+                idx.count_prefix(&s[..s.len() / 2])
+            );
+        }
+        // An IndexedStrings archive must not load as a bit-level trie and
+        // vice versa: the kind header separates them.
+        assert!(WaveletTrie::load_bytes(&bytes).is_err(), "kind confusion");
+    }
+}
+
+#[test]
+fn indexed_strings_file_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("wt-persist-file-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let idx = IndexedStrings::build(["alpha", "beta", "alpha", "gamma"]);
+    let path = dir.join("idx.wt");
+    idx.save(&path).unwrap();
+    let loaded = IndexedStrings::load(&path).expect("file round-trip");
+    for i in 0..idx.len() {
+        assert_eq!(loaded.get_string(i), idx.get_string(i));
+    }
+    assert!(matches!(
+        IndexedStrings::load(dir.join("missing.wt")),
+        Err(wt_bits::LoadError::Io(_))
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tiered_store_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("wt-persist-store-{}", std::process::id()));
+    let mut rnd = xorshift(0x570E);
+    // Several store states: empty, hot-only, sealed+hot, melted middle.
+    let mut stores: Vec<TieredStrings> = Vec::new();
+    stores.push(TieredStrings::new());
+    let mut hot_only = TieredStrings::with_config(StoreConfig {
+        seal_at: 1 << 20,
+        max_sealed: 8,
+    });
+    for i in 0..50 {
+        hot_only.push(format!("hot-{i}"));
+    }
+    stores.push(hot_only);
+    let mut tiered = TieredStrings::with_config(StoreConfig {
+        seal_at: 64,
+        max_sealed: 4,
+    });
+    for _ in 0..400 {
+        tiered.push(format!("http://h{}.com/p{}", rnd() % 5, rnd() % 40));
+    }
+    // Melt a middle segment so the saved image holds a mid-list hot log.
+    tiered.insert("http://melted.example/", 10);
+    stores.push(tiered);
+    for (case, st) in stores.iter().enumerate() {
+        let d = dir.join(format!("case-{case}"));
+        st.save_dir(&d).unwrap();
+        let loaded = TieredStrings::load_dir(&d).expect("valid store dir");
+        assert_eq!(loaded.len(), st.len(), "case {case}");
+        assert_eq!(loaded.num_segments(), st.num_segments(), "case {case}");
+        assert_eq!(
+            loaded.sealed_segments(),
+            st.sealed_segments(),
+            "case {case}"
+        );
+        for i in 0..st.len() {
+            assert_eq!(
+                loaded.get_string(i),
+                st.get_string(i),
+                "case {case} access({i})"
+            );
+        }
+        for probe in [
+            "http://h1.com/p3",
+            "hot-7",
+            "http://melted.example/",
+            "absent",
+        ] {
+            assert_eq!(
+                loaded.count(probe),
+                st.count(probe),
+                "case {case} count({probe})"
+            );
+            assert_eq!(
+                loaded.count_prefix("http://"),
+                st.count_prefix("http://"),
+                "case {case}"
+            );
+        }
+        // save-after-load reproduces every file byte-for-byte.
+        let d2 = dir.join(format!("case-{case}-resaved"));
+        loaded.save_dir(&d2).unwrap();
+        let mut names: Vec<_> = std::fs::read_dir(&d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        names.sort();
+        let mut names2: Vec<_> = std::fs::read_dir(&d2)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        names2.sort();
+        assert_eq!(names, names2, "case {case} file set");
+        for name in names {
+            let a = std::fs::read(d.join(&name)).unwrap();
+            let b = std::fs::read(d2.join(&name)).unwrap();
+            assert_eq!(a, b, "case {case} file {name:?} not byte-stable");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn loaded_structures_answer_after_buffer_source_drops() {
+    // The load path carves views into one shared buffer; the original byte
+    // vector must be droppable (the archive keeps its own Arc).
+    let idx = IndexedStrings::build((0..500).map(|i| format!("k{:04}", i % 37)));
+    let loaded = {
+        let bytes = idx.save_bytes();
+        IndexedStrings::load_bytes(&bytes).unwrap()
+        // `bytes` dropped here
+    };
+    assert_eq!(loaded.count("k0003"), idx.count("k0003"));
+}
+
+#[test]
+fn space_usage_counts_mapped_buffer_once() {
+    let idx = IndexedStrings::build((0..2000).map(|i| format!("http://host{}.com/{i}", i % 7)));
+    let bytes = idx.save_bytes();
+    let file_bits = bytes.len() * 8;
+    let loaded = IndexedStrings::load_bytes(&bytes).unwrap();
+    // Owned-vs-loaded: the loaded structure's components are disjoint views
+    // into the one archive buffer, so its reported size must stay at file
+    // scale (double-counting the buffer per component would blow it up by
+    // the component count) and within the owned structure's footprint plus
+    // per-struct constants.
+    let loaded_bits = loaded.size_bits();
+    assert!(
+        loaded_bits < file_bits + 4096,
+        "loaded {loaded_bits} bits vs file {file_bits} bits: buffer counted more than once?"
+    );
+    assert!(
+        loaded_bits * 4 > file_bits,
+        "loaded {loaded_bits} bits vs file {file_bits} bits: views not accounted?"
+    );
+    // Round-tripping again from the loaded structure changes nothing.
+    let again = IndexedStrings::load_bytes(&loaded.save_bytes()).unwrap();
+    assert_eq!(again.size_bits(), loaded_bits);
+}
