@@ -115,6 +115,43 @@ fn bench_tiered(n: usize, samples: usize, out: &mut Vec<Measurement>, t: &Table)
     let loaded = TieredStrings::load_dir(&dir).unwrap();
     assert_eq!(loaded.len(), n);
     assert_eq!(loaded.get_string(n / 2), strings[n / 2]);
+    // Recovery time, clean path: the resilient loader's overhead over the
+    // strict one (same directory, per-segment validation + temp sweep).
+    let recover_clean_ms = median_ms(samples, || {
+        time_once_ms(|| {
+            let (_, report) = TieredStrings::recover_dir(&dir).unwrap();
+            assert!(report.is_clean());
+        })
+        .1
+    });
+    // Recovery time, degraded path: one sealed segment corrupted — the
+    // loader must checksum everything, quarantine the victim and still
+    // serve the rest.
+    let broken = scratch_dir().join(format!("store-broken-{n}"));
+    std::fs::remove_dir_all(&broken).ok();
+    std::fs::create_dir_all(&broken).unwrap();
+    let mut victim = None;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name();
+        std::fs::copy(dir.join(&name), broken.join(&name)).unwrap();
+        let s = name.to_string_lossy().into_owned();
+        if s.starts_with("seg-") && s.ends_with(".wt") && victim.is_none() {
+            victim = Some(s);
+        }
+    }
+    let victim = broken.join(victim.expect("a sealed segment exists"));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, bytes).unwrap();
+    let recover_degraded_ms = median_ms(samples, || {
+        time_once_ms(|| {
+            let (_, report) = TieredStrings::recover_dir(&broken).unwrap();
+            assert_eq!(report.quarantined.len(), 1);
+        })
+        .1
+    });
+    std::fs::remove_dir_all(&broken).ok();
     std::fs::remove_dir_all(&dir).ok();
 
     let speedup = build_ms / load_ms;
@@ -127,10 +164,16 @@ fn bench_tiered(n: usize, samples: usize, out: &mut Vec<Measurement>, t: &Table)
         &format!("{:.1}KiB", dir_bytes as f64 / 1024.0),
         &format!("{speedup:.0}x"),
     ]);
+    println!(
+        "    recovery: clean {recover_clean_ms:.2}ms, \
+         one-segment-corrupt {recover_degraded_ms:.2}ms"
+    );
     for (op, value, ratio) in [
         ("build", build_ms, 0.0),
         ("save", save_ms, 0.0),
         ("cold_load", load_ms, speedup),
+        ("recover_clean", recover_clean_ms, 0.0),
+        ("recover_degraded", recover_degraded_ms, 0.0),
     ] {
         out.push(Measurement {
             structure: "TieredStrings",

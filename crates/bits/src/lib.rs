@@ -35,6 +35,7 @@ pub mod offset;
 pub mod persist;
 pub mod raw;
 pub mod rrr;
+pub mod storage;
 pub mod words;
 
 pub use append_only::{AppendBitVec, AppendConfig};
@@ -46,4 +47,7 @@ pub use offset::OffsetBitVec;
 pub use persist::{LoadError, Persist};
 pub use raw::RawBitVec;
 pub use rrr::{RrrBuilder, RrrVector};
+pub use storage::{
+    write_atomic, FaultPlan, FaultStorage, FsStorage, MemFs, RetryPolicy, RetryingStorage, Storage,
+};
 pub use words::{U32Words, Words};

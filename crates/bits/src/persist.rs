@@ -92,6 +92,36 @@ pub enum LoadError {
     MissingSection(u32),
     /// Checksums passed but a structural invariant does not hold.
     Invalid(&'static str),
+    /// Any of the above, tagged with the file it came from — so a failure
+    /// in a multi-file directory names the offending file.
+    InFile {
+        /// Path of the file that failed to load.
+        path: std::path::PathBuf,
+        /// The underlying failure.
+        cause: Box<LoadError>,
+    },
+}
+
+impl LoadError {
+    /// Tags this error with the file it came from. Idempotent: an error
+    /// already carrying a path keeps the innermost (original) one.
+    pub fn in_file(self, path: impl Into<std::path::PathBuf>) -> LoadError {
+        match self {
+            LoadError::InFile { .. } => self,
+            other => LoadError::InFile {
+                path: path.into(),
+                cause: Box::new(other),
+            },
+        }
+    }
+
+    /// The file this error is tagged with, if any.
+    pub fn file(&self) -> Option<&std::path::Path> {
+        match self {
+            LoadError::InFile { path, .. } => Some(path),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for LoadError {
@@ -116,6 +146,7 @@ impl std::fmt::Display for LoadError {
             }
             LoadError::MissingSection(tag) => write!(f, "missing section {tag}"),
             LoadError::Invalid(what) => write!(f, "structural invariant violated: {what}"),
+            LoadError::InFile { path, cause } => write!(f, "{}: {cause}", path.display()),
         }
     }
 }

@@ -1,0 +1,767 @@
+//! Injectable storage backends for the persistence layer.
+//!
+//! Every I/O operation the workspace performs while saving or loading an
+//! archive — reading and writing whole files, renaming, fsyncing files and
+//! directories, listing and removing — goes through the [`Storage`] trait,
+//! so the same commit protocol runs against the real filesystem
+//! ([`FsStorage`]), an in-memory filesystem with crash semantics
+//! ([`MemFs`]), or a fault-injecting wrapper ([`FaultStorage`]) that can
+//! kill, tear, or transiently fail any individual operation. The
+//! crash-point enumeration suite (`tests/crash_points.rs`) drives the
+//! whole save path through [`FaultStorage`] over [`MemFs`]: for every
+//! operation index *k* it crashes the save at *k*, drops unsynced state,
+//! and asserts recovery lands on the old or the new image — never a third
+//! state.
+//!
+//! [`write_atomic`] is the durable single-file primitive built on top:
+//! write to a sibling `*.tmp`, fsync, rename over the final name, fsync
+//! the directory. A crash at any point leaves either the old file or the
+//! new file (plus possibly a stale `*.tmp`, which readers ignore and the
+//! store's commit protocol garbage-collects).
+//!
+//! [`RetryPolicy`] classifies transient I/O errors (`Interrupted`,
+//! `WouldBlock`, `TimedOut`) and retries them with exponential backoff;
+//! [`RetryingStorage`] applies the policy to every operation of an inner
+//! backend. All operations here are idempotent whole-file writes, renames
+//! and removals, so a retry after a transient failure is always safe.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The persistence layer's view of a filesystem: whole-file reads and
+/// writes plus the namespace and durability operations the atomic commit
+/// protocol needs. Object-safe, so stores hold a `&dyn Storage`.
+pub trait Storage {
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or replaces the file at `path` with `data`. Not durable
+    /// until [`Storage::sync_file`] (content) and [`Storage::sync_dir`]
+    /// (name) succeed.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Atomically renames `from` to `to`, replacing `to` if it exists.
+    /// Durable only after [`Storage::sync_dir`] on the parent.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Forces the *content* of `path` to stable storage (`fsync`).
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Forces the *namespace* of directory `dir` (created, renamed and
+    /// removed entries) to stable storage.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Creates `dir` and any missing ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// File names (not paths) of the entries in `dir`, sorted.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+}
+
+// --- real filesystem ---------------------------------------------------------
+
+/// [`Storage`] over `std::fs`. Directory fsync uses `File::sync_all` on
+/// the opened directory on Unix and is a no-op elsewhere (notably Windows,
+/// where directories cannot be opened for syncing; rename durability is
+/// weaker there, as it is for every program).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FsStorage;
+
+impl Storage for FsStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    #[cfg(unix)]
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        std::fs::File::open(dir)?.sync_all()
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+// --- atomic single-file write ------------------------------------------------
+
+/// Sibling temp name for an atomic replacement of `path`: the file name
+/// with `.tmp` appended. Readers must ignore `*.tmp` files.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(".tmp");
+    path.with_file_name(name)
+}
+
+/// Durably creates or replaces the file at `path`: write `data` to a
+/// sibling `*.tmp`, fsync it, rename it over `path`, fsync the directory.
+/// A crash at any point leaves the old file (or no file) or the complete
+/// new file — never a torn final file.
+pub fn write_atomic(storage: &dyn Storage, path: &Path, data: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    storage.write(&tmp, data)?;
+    storage.sync_file(&tmp)?;
+    storage.rename(&tmp, path)?;
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => storage.sync_dir(parent),
+        _ => storage.sync_dir(Path::new(".")),
+    }
+}
+
+// --- retry policy ------------------------------------------------------------
+
+/// Whether an I/O error class is worth retrying: the kinds the OS hands
+/// out for transient conditions that a short wait typically clears.
+/// Corruption, missing files and permission errors are never retryable.
+pub fn is_retryable(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Retry-with-backoff policy for transient I/O (see [`is_retryable`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retries).
+    pub attempts: u32,
+    /// Sleep before retry `i` is `base_backoff << (i - 1)`; set to zero
+    /// in tests to keep fault-injection runs instant.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Runs `f`, retrying on retryable errors per the policy.
+    pub fn run<T>(&self, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let attempts = self.attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= attempts || !is_retryable(e.kind()) {
+                        return Err(e);
+                    }
+                    let backoff = self.base_backoff * (1 << (attempt - 1).min(16));
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A [`Storage`] wrapper that applies a [`RetryPolicy`] to every
+/// operation of the inner backend.
+pub struct RetryingStorage<'a> {
+    inner: &'a dyn Storage,
+    policy: RetryPolicy,
+}
+
+impl<'a> RetryingStorage<'a> {
+    /// Wraps `inner` with `policy`.
+    pub fn new(inner: &'a dyn Storage, policy: RetryPolicy) -> Self {
+        RetryingStorage { inner, policy }
+    }
+}
+
+impl Storage for RetryingStorage<'_> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.policy.run(|| self.inner.read(path))
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.policy.run(|| self.inner.write(path, data))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.policy.run(|| self.inner.rename(from, to))
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.policy.run(|| self.inner.remove(path))
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.policy.run(|| self.inner.sync_file(path))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.policy.run(|| self.inner.sync_dir(dir))
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.policy.run(|| self.inner.create_dir_all(dir))
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.policy.run(|| self.inner.list(dir))
+    }
+}
+
+// --- in-memory filesystem with crash semantics -------------------------------
+
+#[derive(Clone, Debug)]
+struct Inode {
+    /// Current content (what readers see now).
+    content: Vec<u8>,
+    /// Content as of the last `sync_file` — what survives a crash if the
+    /// file's *name* also survives. `None`: never fsynced.
+    synced: Option<Vec<u8>>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MemInner {
+    next_inode: u64,
+    inodes: BTreeMap<u64, Inode>,
+    /// Live namespace: path → inode.
+    live: BTreeMap<PathBuf, u64>,
+    /// Durable namespace as of the last `sync_dir` on each parent.
+    durable: BTreeMap<PathBuf, u64>,
+    /// Created directories (treated as instantly durable — `mkdir` races
+    /// are not the failure mode under test).
+    dirs: Vec<PathBuf>,
+    /// Seed for deterministic torn-content lengths at crash time.
+    seed: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-distributed.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl MemInner {
+    fn has_dir(&self, dir: &Path) -> bool {
+        self.dirs.iter().any(|d| d == dir)
+    }
+
+    fn parent_ok(&self, path: &Path) -> bool {
+        match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => self.has_dir(p),
+            _ => true,
+        }
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("{}: not found", path.display()),
+    )
+}
+
+/// An in-memory [`Storage`] with explicit durability tracking: file
+/// content survives a [`MemFs::crash`] only if `sync_file` ran after the
+/// last write, and namespace changes (creates, renames, removals) only if
+/// `sync_dir` ran after them. Unsynced content decays to a *torn prefix*
+/// at crash time, modeling a partial page writeback.
+///
+/// Handles are cheap clones sharing one filesystem; [`MemFs::fork`] deep-
+/// copies the state so a crash-point enumeration can replay the same
+/// starting image under many fault plans.
+#[derive(Clone, Debug, Default)]
+pub struct MemFs {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemFs {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty filesystem whose torn-write lengths derive from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        let fs = Self::default();
+        fs.inner.lock().unwrap().seed = seed;
+        fs
+    }
+
+    /// Deep copy: an independent filesystem with identical state.
+    pub fn fork(&self) -> MemFs {
+        let inner = self.inner.lock().unwrap().clone();
+        MemFs {
+            inner: Arc::new(Mutex::new(inner)),
+        }
+    }
+
+    /// Simulates a power failure: the namespace rolls back to the last
+    /// `sync_dir` snapshot per directory, fsynced content survives, and
+    /// content written but never fsynced decays to a torn prefix of
+    /// deterministic (seeded) length. After the crash the surviving state
+    /// is fully durable, as if freshly read from the platter.
+    pub fn crash(&self) {
+        let mut g = self.inner.lock().unwrap();
+        let durable = g.durable.clone();
+        let seed = g.seed;
+        let mut live = BTreeMap::new();
+        let mut ids: Vec<(PathBuf, u64)> = durable.into_iter().collect();
+        for (path, id) in ids.drain(..) {
+            let inode = g.inodes.get_mut(&id).expect("durable name has an inode");
+            let survived = match &inode.synced {
+                Some(s) => s.clone(),
+                None => {
+                    // Torn writeback: a prefix of the unsynced content.
+                    let cut = (mix(seed ^ id) as usize) % (inode.content.len() + 1);
+                    inode.content[..cut].to_vec()
+                }
+            };
+            inode.content = survived.clone();
+            inode.synced = Some(survived);
+            live.insert(path, id);
+        }
+        g.durable = live.clone();
+        g.live = live;
+    }
+
+    /// Names currently visible in `dir` (diagnostics; same as
+    /// [`Storage::list`] but infallible for missing dirs).
+    pub fn list_names(&self, dir: &Path) -> Vec<String> {
+        self.list(dir).unwrap_or_default()
+    }
+}
+
+impl Storage for MemFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let g = self.inner.lock().unwrap();
+        let id = g.live.get(path).ok_or_else(|| not_found(path))?;
+        Ok(g.inodes[id].content.clone())
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if !g.parent_ok(path) {
+            return Err(not_found(path));
+        }
+        match g.live.get(path).copied() {
+            Some(id) => {
+                let inode = g.inodes.get_mut(&id).unwrap();
+                inode.content = data.to_vec();
+                inode.synced = None;
+            }
+            None => {
+                let id = g.next_inode;
+                g.next_inode += 1;
+                g.inodes.insert(
+                    id,
+                    Inode {
+                        content: data.to_vec(),
+                        synced: None,
+                    },
+                );
+                g.live.insert(path.to_path_buf(), id);
+            }
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if !g.parent_ok(to) {
+            return Err(not_found(to));
+        }
+        let id = g.live.remove(from).ok_or_else(|| not_found(from))?;
+        g.live.insert(to.to_path_buf(), id);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        g.live.remove(path).ok_or_else(|| not_found(path))?;
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        let id = g.live.get(path).copied().ok_or_else(|| not_found(path))?;
+        let inode = g.inodes.get_mut(&id).unwrap();
+        inode.synced = Some(inode.content.clone());
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        if !g.has_dir(dir) {
+            return Err(not_found(dir));
+        }
+        // Snapshot the live namespace of `dir` into the durable one.
+        let in_dir = |p: &Path| p.parent() == Some(dir);
+        let fresh: Vec<(PathBuf, u64)> = g
+            .live
+            .iter()
+            .filter(|(p, _)| in_dir(p))
+            .map(|(p, &id)| (p.clone(), id))
+            .collect();
+        g.durable.retain(|p, _| !in_dir(p));
+        g.durable.extend(fresh);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        let mut d = dir.to_path_buf();
+        loop {
+            if !g.has_dir(&d) {
+                g.dirs.push(d.clone());
+            }
+            match d.parent() {
+                Some(p) if !p.as_os_str().is_empty() => d = p.to_path_buf(),
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let g = self.inner.lock().unwrap();
+        if !g.has_dir(dir) {
+            return Err(not_found(dir));
+        }
+        let mut names: Vec<String> = g
+            .live
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+// --- fault injection ---------------------------------------------------------
+
+/// What the fault-injecting backend does to the underlying storage.
+///
+/// Operations are numbered from 0 in call order across all methods. A
+/// *crash* (`fail_from`) fails the operation at that index and every
+/// later one — the process is dead; the caller then typically invokes
+/// [`MemFs::crash`] and recovers. A *transient* index fails exactly once
+/// with [`io::ErrorKind::Interrupted`], modeling retryable blips.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Fail every operation with index `>= fail_from`.
+    pub fail_from: Option<u64>,
+    /// When the first failed operation is a `write`, apply a torn prefix
+    /// of the data to the inner storage before failing — the crash caught
+    /// the write mid-flight.
+    pub torn_writes: bool,
+    /// Seed for the torn-prefix length.
+    pub seed: u64,
+    /// Operation indices that fail once with `Interrupted`, then succeed
+    /// on retry (the retry re-runs them under fresh indices).
+    pub transient: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    ops: u64,
+    fired: bool,
+    transient_hit: Vec<u64>,
+}
+
+/// A [`Storage`] wrapper that injects failures per a [`FaultPlan`].
+/// Wrap a [`MemFs`] for crash-point enumeration with durability loss, or
+/// [`FsStorage`] to produce a real torn directory (the torn-save golden
+/// fixture is generated that way).
+pub struct FaultStorage<'a> {
+    inner: &'a dyn Storage,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+}
+
+impl<'a> FaultStorage<'a> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: &'a dyn Storage, plan: FaultPlan) -> Self {
+        FaultStorage {
+            inner,
+            plan,
+            state: Mutex::new(FaultState::default()),
+        }
+    }
+
+    /// Operations attempted so far (including failed ones).
+    pub fn ops(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// Whether the crash fault (`fail_from`) has triggered.
+    pub fn fired(&self) -> bool {
+        self.state.lock().unwrap().fired
+    }
+
+    /// Checks the plan for the next operation. Returns `Ok(idx)` to let
+    /// it through, or the injected error.
+    fn gate(&self) -> io::Result<u64> {
+        let mut g = self.state.lock().unwrap();
+        let idx = g.ops;
+        g.ops += 1;
+        if self.plan.transient.contains(&idx) && !g.transient_hit.contains(&idx) {
+            g.transient_hit.push(idx);
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient fault at op {idx}"),
+            ));
+        }
+        if let Some(k) = self.plan.fail_from {
+            if idx >= k {
+                g.fired = true;
+                return Err(io::Error::other(format!("injected crash at op {idx}")));
+            }
+        }
+        Ok(idx)
+    }
+}
+
+impl Storage for FaultStorage<'_> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.gate() {
+            Ok(_) => self.inner.write(path, data),
+            Err(e) => {
+                let crashed = self.state.lock().unwrap().fired;
+                if crashed && self.plan.torn_writes {
+                    // The dying write may have pushed a prefix to disk.
+                    let idx = self.state.lock().unwrap().ops;
+                    let cut = (mix(self.plan.seed ^ idx) as usize) % (data.len() + 1);
+                    let _ = self.inner.write(path, &data[..cut]);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.remove(path)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.sync_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.sync_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.gate()?;
+        self.inner.list(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn memfs_basic_roundtrip() {
+        let fs = MemFs::new();
+        fs.create_dir_all(&p("/d")).unwrap();
+        fs.write(&p("/d/a"), b"hello").unwrap();
+        assert_eq!(fs.read(&p("/d/a")).unwrap(), b"hello");
+        assert_eq!(fs.list(&p("/d")).unwrap(), vec!["a".to_string()]);
+        fs.rename(&p("/d/a"), &p("/d/b")).unwrap();
+        assert!(fs.read(&p("/d/a")).is_err());
+        assert_eq!(fs.read(&p("/d/b")).unwrap(), b"hello");
+        fs.remove(&p("/d/b")).unwrap();
+        assert!(fs.list(&p("/d")).unwrap().is_empty());
+        assert!(fs.read(&p("/nope")).is_err());
+        assert!(fs.list(&p("/nope")).is_err());
+    }
+
+    #[test]
+    fn crash_loses_unsynced_content_and_names() {
+        let fs = MemFs::with_seed(7);
+        fs.create_dir_all(&p("/d")).unwrap();
+        // Fully durable file.
+        fs.write(&p("/d/safe"), b"safe-bytes").unwrap();
+        fs.sync_file(&p("/d/safe")).unwrap();
+        fs.sync_dir(&p("/d")).unwrap();
+        // Name durable, content not fsynced: decays to a torn prefix.
+        fs.write(&p("/d/torn"), b"torn-bytes").unwrap();
+        fs.sync_dir(&p("/d")).unwrap();
+        fs.write(&p("/d/torn"), b"torn-bytes-version-2").unwrap();
+        // Name never synced: vanishes entirely.
+        fs.write(&p("/d/ghost"), b"ghost").unwrap();
+        fs.sync_file(&p("/d/ghost")).unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("/d/safe")).unwrap(), b"safe-bytes");
+        let torn = fs.read(&p("/d/torn")).unwrap();
+        assert!(b"torn-bytes-version-2".starts_with(&torn[..]));
+        assert!(fs.read(&p("/d/ghost")).is_err(), "unsynced name survived");
+    }
+
+    #[test]
+    fn rename_is_not_durable_until_dir_sync() {
+        let fs = MemFs::new();
+        fs.create_dir_all(&p("/d")).unwrap();
+        fs.write(&p("/d/x.tmp"), b"payload").unwrap();
+        fs.sync_file(&p("/d/x.tmp")).unwrap();
+        fs.sync_dir(&p("/d")).unwrap();
+        fs.rename(&p("/d/x.tmp"), &p("/d/x")).unwrap();
+        // Crash before sync_dir: the rename rolls back.
+        let lost = fs.fork();
+        lost.crash();
+        assert!(lost.read(&p("/d/x")).is_err());
+        assert_eq!(lost.read(&p("/d/x.tmp")).unwrap(), b"payload");
+        // Crash after sync_dir: the rename sticks.
+        fs.sync_dir(&p("/d")).unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("/d/x")).unwrap(), b"payload");
+        assert!(fs.read(&p("/d/x.tmp")).is_err());
+    }
+
+    #[test]
+    fn write_atomic_is_old_or_new_at_every_crash_point() {
+        let dir = p("/d");
+        let file = dir.join("data");
+        for k in 0.. {
+            let fs = MemFs::with_seed(k);
+            fs.create_dir_all(&dir).unwrap();
+            write_atomic(&fs, &file, b"old-contents").unwrap();
+            let fault = FaultStorage::new(
+                &fs,
+                FaultPlan {
+                    fail_from: Some(k),
+                    torn_writes: true,
+                    seed: 0x7EA4 ^ k,
+                    transient: vec![],
+                },
+            );
+            let res = write_atomic(&fault, &file, b"new-contents-longer");
+            let done = res.is_ok() && !fault.fired();
+            fs.crash();
+            let got = fs.read(&file).unwrap();
+            assert!(
+                got == b"old-contents" || got == b"new-contents-longer",
+                "crash at op {k}: third state {got:?}"
+            );
+            if done {
+                assert_eq!(fs.read(&file).unwrap(), b"new-contents-longer");
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn retry_absorbs_transient_faults() {
+        let fs = MemFs::new();
+        fs.create_dir_all(&p("/d")).unwrap();
+        let fault = FaultStorage::new(
+            &fs,
+            FaultPlan {
+                transient: vec![0, 2],
+                ..FaultPlan::default()
+            },
+        );
+        let retrying = RetryingStorage::new(
+            &fault,
+            RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::ZERO,
+            },
+        );
+        retrying.write(&p("/d/a"), b"x").unwrap();
+        assert_eq!(retrying.read(&p("/d/a")).unwrap(), b"x");
+        // Without retries the same plan surfaces the transient error.
+        let fault2 = FaultStorage::new(
+            &fs,
+            FaultPlan {
+                transient: vec![0],
+                ..FaultPlan::default()
+            },
+        );
+        assert_eq!(
+            fault2.write(&p("/d/a"), b"y").unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+    }
+
+    #[test]
+    fn retry_policy_gives_up_on_hard_errors() {
+        let mut calls = 0;
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_backoff: Duration::ZERO,
+        };
+        let r: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "no"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1, "hard errors must not be retried");
+        let mut calls = 0;
+        let r: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::Interrupted, "blip"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 5, "transient errors retry to exhaustion");
+    }
+}

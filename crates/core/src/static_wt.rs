@@ -665,14 +665,19 @@ impl WaveletTrie {
         Self::read_archive(bytes, kind::WAVELET_TRIE)
     }
 
-    /// [`WaveletTrie::save_bytes`] to a file.
+    /// [`WaveletTrie::save_bytes`] to a file, atomically: the bytes go to
+    /// a sibling `*.tmp` which is fsynced and renamed over `path`, so a
+    /// crash mid-save never leaves a torn archive under the final name.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.save_bytes())
+        wt_bits::write_atomic(&wt_bits::FsStorage, path.as_ref(), &self.save_bytes())
     }
 
-    /// [`WaveletTrie::load_bytes`] from a file.
+    /// [`WaveletTrie::load_bytes`] from a file. Errors are tagged with
+    /// the offending path ([`LoadError::InFile`]).
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, LoadError> {
-        Self::load_bytes(&std::fs::read(path)?)
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| LoadError::from(e).in_file(path))?;
+        Self::load_bytes(&bytes).map_err(|e| e.in_file(path))
     }
 
     pub(crate) fn write_archive(&self, archive_kind: u32) -> Vec<u8> {

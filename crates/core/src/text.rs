@@ -285,14 +285,19 @@ impl IndexedStrings {
         })
     }
 
-    /// [`IndexedStrings::save_bytes`] to a file.
+    /// [`IndexedStrings::save_bytes`] to a file, atomically (write a
+    /// sibling `*.tmp`, fsync, rename): a crash mid-save never leaves a
+    /// torn archive under the final name.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.save_bytes())
+        wt_bits::write_atomic(&wt_bits::FsStorage, path.as_ref(), &self.save_bytes())
     }
 
-    /// [`IndexedStrings::load_bytes`] from a file.
+    /// [`IndexedStrings::load_bytes`] from a file. Errors are tagged with
+    /// the offending path ([`wt_bits::LoadError::InFile`]).
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, wt_bits::LoadError> {
-        Self::load_bytes(&std::fs::read(path)?)
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| wt_bits::LoadError::from(e).in_file(path))?;
+        Self::load_bytes(&bytes).map_err(|e| e.in_file(path))
     }
 
     string_facade_queries!();

@@ -1,0 +1,223 @@
+//! Structured error and recovery reporting for store persistence.
+//!
+//! Every failure out of [`TieredStore::save_dir`](crate::TieredStore::save_dir)
+//! / [`load_dir`](crate::TieredStore::load_dir) /
+//! [`recover_dir`](crate::TieredStore::recover_dir) is a [`StoreError`]
+//! carrying *which file*, *which operation*, and *what went wrong* — a
+//! checksum failure in a 10-segment directory names the segment, not just
+//! "checksum mismatch". Transient I/O classes are queryable via
+//! [`StoreError::is_retryable`] (the default entry points already retry
+//! them with backoff; see [`wt_bits::storage::RetryPolicy`]).
+//!
+//! [`RecoveryReport`] is the structured outcome of a resilient load: the
+//! generation served, what was quarantined and why, how many strings were
+//! recovered versus lost, and which stale temp files were swept.
+
+use std::path::{Path, PathBuf};
+
+use wt_bits::storage::is_retryable;
+use wt_bits::LoadError;
+
+/// The persistence operation that failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOp {
+    /// Creating the store directory.
+    CreateDir,
+    /// Listing the store directory.
+    List,
+    /// Reading a file.
+    Read,
+    /// Writing a file.
+    Write,
+    /// Fsyncing a file's content.
+    SyncFile,
+    /// Fsyncing the directory namespace.
+    SyncDir,
+    /// Renaming a temp file over its final name.
+    Rename,
+    /// Removing a stale file.
+    Remove,
+    /// Parsing / validating an archive already read.
+    Parse,
+    /// Cross-file validation (manifest vs segments).
+    Validate,
+}
+
+impl std::fmt::Display for StoreOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StoreOp::CreateDir => "create-dir",
+            StoreOp::List => "list",
+            StoreOp::Read => "read",
+            StoreOp::Write => "write",
+            StoreOp::SyncFile => "sync-file",
+            StoreOp::SyncDir => "sync-dir",
+            StoreOp::Rename => "rename",
+            StoreOp::Remove => "remove",
+            StoreOp::Parse => "parse",
+            StoreOp::Validate => "validate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Root cause of a [`StoreError`].
+#[derive(Debug)]
+pub enum StoreErrorCause {
+    /// The operating system failed the operation.
+    Io(std::io::Error),
+    /// The bytes were read but are not a valid archive.
+    Format(LoadError),
+    /// The directory holds no manifest of any generation — nothing was
+    /// ever committed here (or this is not a store directory).
+    NoCommittedGeneration,
+}
+
+/// A persistence failure: file × operation × cause.
+#[derive(Debug)]
+pub struct StoreError {
+    file: Option<PathBuf>,
+    op: StoreOp,
+    cause: StoreErrorCause,
+}
+
+impl StoreError {
+    pub(crate) fn io(op: StoreOp, file: impl Into<PathBuf>, e: std::io::Error) -> Self {
+        StoreError {
+            file: Some(file.into()),
+            op,
+            cause: StoreErrorCause::Io(e),
+        }
+    }
+
+    pub(crate) fn format(file: impl Into<PathBuf>, e: LoadError) -> Self {
+        StoreError {
+            file: Some(file.into()),
+            op: StoreOp::Parse,
+            cause: StoreErrorCause::Format(e),
+        }
+    }
+
+    pub(crate) fn validate(file: impl Into<PathBuf>, what: &'static str) -> Self {
+        StoreError {
+            file: Some(file.into()),
+            op: StoreOp::Validate,
+            cause: StoreErrorCause::Format(LoadError::Invalid(what)),
+        }
+    }
+
+    pub(crate) fn no_generation(dir: impl Into<PathBuf>) -> Self {
+        StoreError {
+            file: Some(dir.into()),
+            op: StoreOp::List,
+            cause: StoreErrorCause::NoCommittedGeneration,
+        }
+    }
+
+    /// The file (or directory) the failure is about, when known.
+    pub fn file(&self) -> Option<&Path> {
+        self.file.as_deref()
+    }
+
+    /// The operation that failed.
+    pub fn op(&self) -> StoreOp {
+        self.op
+    }
+
+    /// The root cause.
+    pub fn cause(&self) -> &StoreErrorCause {
+        &self.cause
+    }
+
+    /// Whether retrying the whole save/load is reasonable: true only for
+    /// transient I/O classes (interrupted, would-block, timed out).
+    /// Corruption and missing files are never retryable.
+    pub fn is_retryable(&self) -> bool {
+        match &self.cause {
+            StoreErrorCause::Io(e) => is_retryable(e.kind()),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.file {
+            Some(p) => write!(f, "{} {}: ", self.op, p.display())?,
+            None => write!(f, "{}: ", self.op)?,
+        }
+        match &self.cause {
+            StoreErrorCause::Io(e) => write!(f, "{e}"),
+            StoreErrorCause::Format(e) => write!(f, "{e}"),
+            StoreErrorCause::NoCommittedGeneration => {
+                write!(f, "no committed generation (no manifest found)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.cause {
+            StoreErrorCause::Io(e) => Some(e),
+            StoreErrorCause::Format(e) => Some(e),
+            StoreErrorCause::NoCommittedGeneration => None,
+        }
+    }
+}
+
+/// One damaged piece a resilient load set aside instead of failing on.
+#[derive(Debug)]
+pub struct Quarantine {
+    /// The offending file.
+    pub file: PathBuf,
+    /// Human-readable reason (checksum mismatch, missing, length
+    /// mismatch against the manifest, …).
+    pub reason: String,
+    /// Strings this file owed per the manifest that could not be served.
+    pub strings_lost: usize,
+}
+
+/// Structured outcome of [`TieredStore::recover_dir`](crate::TieredStore::recover_dir).
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// The generation that was served.
+    pub generation: u64,
+    /// Newer manifests that existed but failed to read/parse and were
+    /// skipped to fall back to this generation.
+    pub manifests_skipped: usize,
+    /// Segments (or hot logs) set aside as damaged; empty on a clean load.
+    pub quarantined: Vec<Quarantine>,
+    /// Stale `*.tmp` files swept during recovery.
+    pub temps_removed: Vec<PathBuf>,
+    /// Strings served by the recovered store.
+    pub strings_recovered: usize,
+    /// Strings recorded in the manifest that could not be recovered.
+    pub strings_lost: usize,
+    /// Strings replayed into hot (dynamic) segments from string logs.
+    pub hot_replayed: usize,
+}
+
+impl RecoveryReport {
+    /// True when nothing was lost, skipped or quarantined — the directory
+    /// was a perfectly healthy committed image.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.manifests_skipped == 0 && self.strings_lost == 0
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "generation {}: {} strings recovered, {} lost, {} quarantined, \
+             {} newer manifest(s) skipped, {} temp(s) swept",
+            self.generation,
+            self.strings_recovered,
+            self.strings_lost,
+            self.quarantined.len(),
+            self.manifests_skipped,
+            self.temps_removed.len(),
+        )
+    }
+}

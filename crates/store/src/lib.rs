@@ -49,15 +49,17 @@
 //! clone sealed segments out or query them through `&dyn SeqIndex` from
 //! the owning thread's batched entry points.
 
+pub mod durable;
+pub mod error;
 pub mod text;
 
+pub use error::{Quarantine, RecoveryReport, StoreError, StoreErrorCause, StoreOp};
 pub use text::TieredStrings;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use wavelet_trie::{DynamicWaveletTrie, SeqIndex, WaveletTrie};
-use wt_bits::persist::{kind, Archive, ArchiveWriter, LoadError};
 use wt_bits::{EliasFano, SpaceUsage};
 use wt_trie::{BitStr, BitString, PrefixFreeViolation};
 
@@ -569,159 +571,6 @@ impl TieredStore {
         // BitString's Ord is lexicographic with prefixes first — the same
         // order a single trie's traversal emits.
         merged.into_iter().collect()
-    }
-}
-
-// --- persistence -------------------------------------------------------------
-
-/// Serializes a hot segment as a string log: the strings in order, as one
-/// concatenated bitvector plus a length table. Unlike sealed segments this
-/// is not zero-copy on load — the hot tail is small by policy (`seal_at`),
-/// so re-appending its strings into a fresh dynamic trie is cheap.
-fn hot_log_bytes(h: &DynamicWaveletTrie) -> Vec<u8> {
-    let mut lens: Vec<u64> = Vec::new();
-    let mut concat = wt_bits::RawBitVec::new();
-    for s in h.iter_range_boxed(0, SeqIndex::seq_len(h)) {
-        lens.push(s.len() as u64);
-        s.as_bitstr().append_into(&mut concat);
-    }
-    let mut payload = vec![lens.len() as u64];
-    payload.extend_from_slice(&lens);
-    wt_bits::Persist::encode(&concat, &mut payload);
-    let mut w = ArchiveWriter::new(kind::HOT_LOG);
-    w.section(0, payload);
-    w.finish()
-}
-
-/// Replays a hot-segment string log written by [`hot_log_bytes`].
-fn load_hot_log(bytes: &[u8]) -> Result<DynamicWaveletTrie, LoadError> {
-    let a = Archive::parse(bytes, kind::HOT_LOG)?;
-    let mut r = a.section(0)?;
-    let n = r.read_len()?;
-    let lens = r.view(n)?;
-    let concat: wt_bits::RawBitVec = wt_bits::Persist::decode(&mut r)?;
-    r.finish()?;
-    let mut h = DynamicWaveletTrie::new();
-    let mut start = 0usize;
-    for i in 0..n {
-        let l = lens[i] as usize;
-        if l > concat.len() - start {
-            return Err(LoadError::Invalid("hot log length table"));
-        }
-        h.append(BitStr::new(&concat, start, l))
-            .map_err(|_| LoadError::Invalid("hot log not prefix-free"))?;
-        start += l;
-    }
-    if start != concat.len() {
-        return Err(LoadError::Invalid("hot log length table"));
-    }
-    Ok(h)
-}
-
-impl TieredStore {
-    /// Name of the manifest file inside a store directory.
-    pub const MANIFEST_FILE: &'static str = "manifest.wt";
-
-    /// File name of segment `i`: `seg-NNN.wt` for sealed segments (a
-    /// zero-copy Wavelet-Trie archive), `seg-NNN.log` for hot ones.
-    fn segment_file_name(i: usize, sealed: bool) -> String {
-        if sealed {
-            format!("seg-{i:03}.wt")
-        } else {
-            format!("seg-{i:03}.log")
-        }
-    }
-
-    /// Persists the store into `dir` (created if needed): a `manifest.wt`
-    /// archive recording the policy and segment list, one `seg-NNN.wt`
-    /// archive per sealed segment, and one `seg-NNN.log` string log per
-    /// hot segment.
-    pub fn save_dir(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let mut manifest = vec![
-            self.config.seal_at as u64,
-            self.config.max_sealed as u64,
-            self.len as u64,
-            self.segments.len() as u64,
-        ];
-        for (i, g) in self.segments.iter().enumerate() {
-            manifest.push(g.is_sealed() as u64);
-            manifest.push(g.len() as u64);
-            let (name, bytes) = match g {
-                Segment::Sealed(s) => (Self::segment_file_name(i, true), s.wt.save_bytes()),
-                Segment::Hot(h) => (Self::segment_file_name(i, false), hot_log_bytes(h)),
-            };
-            std::fs::write(dir.join(name), bytes)?;
-        }
-        let mut w = ArchiveWriter::new(kind::MANIFEST);
-        w.section(0, manifest);
-        std::fs::write(dir.join(Self::MANIFEST_FILE), w.finish())
-    }
-
-    /// Loads a store directory written by [`TieredStore::save_dir`].
-    ///
-    /// Sealed segments load zero-copy (validate-then-view, no bitvector
-    /// rebuilds); hot segments replay their string logs into fresh dynamic
-    /// tries. Segment lengths are cross-checked against the manifest.
-    pub fn load_dir(dir: impl AsRef<std::path::Path>) -> Result<Self, LoadError> {
-        let dir = dir.as_ref();
-        let bytes = std::fs::read(dir.join(Self::MANIFEST_FILE))?;
-        let a = Archive::parse(&bytes, kind::MANIFEST)?;
-        let mut r = a.section(0)?;
-        let seal_at = r.read_u64()? as usize;
-        let max_sealed = r.read_u64()? as usize;
-        let total_len = r.read_u64()? as usize;
-        let n_segments = r.read_u64()? as usize;
-        if r.remaining() != 2 * n_segments || n_segments == 0 {
-            return Err(LoadError::Invalid("manifest segment table"));
-        }
-        let mut entries = Vec::with_capacity(n_segments);
-        for _ in 0..n_segments {
-            let sealed = match r.read_u64()? {
-                0 => false,
-                1 => true,
-                _ => return Err(LoadError::Invalid("manifest segment tag")),
-            };
-            entries.push((sealed, r.read_u64()? as usize));
-        }
-        r.finish()?;
-        let mut segments = Vec::with_capacity(n_segments);
-        let mut sum = 0usize;
-        for (i, &(sealed, seg_len)) in entries.iter().enumerate() {
-            let bytes = std::fs::read(dir.join(Self::segment_file_name(i, sealed)))?;
-            if sealed {
-                let wt = WaveletTrie::load_bytes(&bytes)?;
-                if wt.len() != seg_len || seg_len == 0 {
-                    return Err(LoadError::Invalid("sealed segment length vs manifest"));
-                }
-                segments.push(Segment::Sealed(Box::new(SealedSegment::new(wt))));
-            } else {
-                let h = load_hot_log(&bytes)?;
-                if SeqIndex::seq_len(&h) != seg_len {
-                    return Err(LoadError::Invalid("hot segment length vs manifest"));
-                }
-                segments.push(Segment::Hot(h));
-            }
-            sum = sum
-                .checked_add(seg_len)
-                .ok_or(LoadError::Invalid("manifest segment lengths overflow"))?;
-        }
-        if sum != total_len {
-            return Err(LoadError::Invalid("store length vs manifest"));
-        }
-        if !matches!(segments.last(), Some(Segment::Hot(_))) {
-            return Err(LoadError::Invalid("store must end in a hot tail"));
-        }
-        Ok(TieredStore {
-            segments,
-            len: total_len,
-            config: StoreConfig {
-                seal_at,
-                max_sealed,
-            },
-            directory: RefCell::new(None),
-        })
     }
 }
 

@@ -10,11 +10,13 @@
 //! Any intentional format change must bump `FORMAT_VERSION` and regenerate
 //! the fixtures: `WT_REGEN_FIXTURES=1 cargo test --test golden_fixtures`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use wavelet_trie::IndexedStrings;
 use wt_bits::persist::{kind, to_bytes};
-use wt_bits::{BitAccess, BitRank, EliasFano, RawBitVec, RrrVector};
+use wt_bits::{
+    BitAccess, BitRank, EliasFano, FaultPlan, FaultStorage, FsStorage, RawBitVec, RrrVector,
+};
 use wt_store::{StoreConfig, TieredStrings};
 
 fn fixture_dir() -> PathBuf {
@@ -144,10 +146,9 @@ fn indexed_strings_fixture() {
     );
 }
 
-#[test]
-fn tiered_store_fixture() {
-    // A store with sealed segments AND a non-empty hot tail, built
-    // deterministically (serial seal so the image is machine-independent).
+/// The canonical fixture store: sealed segments AND a non-empty hot tail,
+/// built deterministically (freezes are bit-identical serial or parallel).
+fn fixture_store() -> TieredStrings {
     let mut st = TieredStrings::with_config(StoreConfig {
         seal_at: 10,
         max_sealed: 4,
@@ -155,38 +156,33 @@ fn tiered_store_fixture() {
     for u in fixture_urls() {
         st.push(u);
     }
-    let dir = fixture_dir().join("store-v1");
-    if regen() {
-        let _ = std::fs::remove_dir_all(&dir);
-        st.save_dir(&dir).unwrap();
-        return;
-    }
-    // Writer compat: every file byte-identical to a fresh save.
-    let tmp = std::env::temp_dir().join(format!("wt-golden-store-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&tmp);
-    st.save_dir(&tmp).unwrap();
-    let mut names: Vec<String> = std::fs::read_dir(&dir)
-        .expect("missing fixture dir store-v1; regenerate with WT_REGEN_FIXTURES=1")
+    st
+}
+
+/// Sorted file names of a directory.
+fn dir_names(dir: &Path, what: &str) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            panic!("missing fixture dir {what} ({e}); regenerate with WT_REGEN_FIXTURES=1")
+        })
         .map(|e| e.unwrap().file_name().into_string().unwrap())
         .collect();
     names.sort();
-    let mut fresh: Vec<String> = std::fs::read_dir(&tmp)
-        .unwrap()
-        .map(|e| e.unwrap().file_name().into_string().unwrap())
-        .collect();
-    fresh.sort();
-    assert_eq!(names, fresh, "store fixture file set changed");
-    for name in &names {
-        assert_eq!(
-            std::fs::read(dir.join(name)).unwrap(),
-            std::fs::read(tmp.join(name)).unwrap(),
-            "store fixture file {name} changed"
-        );
+    names
+}
+
+/// Copies a fixture directory into a scratch dir (recovery sweeps temps, so
+/// resilient-load tests must never run on the checked-in tree).
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for name in dir_names(src, "copy source") {
+        std::fs::copy(src.join(&name), dst.join(&name)).unwrap();
     }
-    std::fs::remove_dir_all(&tmp).unwrap();
-    // Reader compat: the checked-in directory loads and answers like the
-    // freshly built store.
-    let loaded = TieredStrings::load_dir(&dir).unwrap();
+}
+
+/// Asserts the loaded store answers exactly like the freshly built one.
+fn assert_store_matches(loaded: &TieredStrings, st: &TieredStrings) {
     assert_eq!(loaded.len(), st.len());
     assert_eq!(loaded.sealed_segments(), st.sealed_segments());
     for i in 0..st.len() {
@@ -196,4 +192,150 @@ fn tiered_store_fixture() {
         loaded.count_prefix("http://c.net/"),
         st.count_prefix("http://c.net/")
     );
+}
+
+#[test]
+fn tiered_store_legacy_fixture() {
+    // `store-v1` is the pre-generation layout (bare `manifest.wt` +
+    // `seg-NNN.*`, no atomic-commit naming). The current writer no longer
+    // produces it — this fixture is **reader compat only**, pinning that
+    // images written before the commit protocol keep loading, as
+    // generation 0. It is never regenerated.
+    let st = fixture_store();
+    let dir = fixture_dir().join("store-v1");
+    if regen() {
+        return; // checked-in legacy bytes are immutable
+    }
+    let loaded = TieredStrings::load_dir(&dir).unwrap();
+    assert_store_matches(&loaded, &st);
+    // The resilient path agrees and reports a clean generation-0 image.
+    let tmp = std::env::temp_dir().join(format!("wt-golden-legacy-{}", std::process::id()));
+    copy_dir(&dir, &tmp);
+    let (recovered, report) = TieredStrings::recover_dir(&tmp).unwrap();
+    assert!(report.is_clean(), "legacy fixture not clean: {report}");
+    assert_eq!(report.generation, 0);
+    assert_store_matches(&recovered, &st);
+    std::fs::remove_dir_all(&tmp).unwrap();
+}
+
+#[test]
+fn tiered_store_generation_fixture() {
+    // `store-gen-v1` freezes the atomic-commit layout: generation-numbered
+    // segments plus `manifest-g00000001.wt` as the commit point.
+    let st = fixture_store();
+    let dir = fixture_dir().join("store-gen-v1");
+    if regen() {
+        let _ = std::fs::remove_dir_all(&dir);
+        st.save_dir(&dir).unwrap();
+        return;
+    }
+    // Writer compat: every file byte-identical to a fresh save.
+    let tmp = std::env::temp_dir().join(format!("wt-golden-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    st.save_dir(&tmp).unwrap();
+    let names = dir_names(&dir, "store-gen-v1");
+    assert_eq!(names, dir_names(&tmp, "fresh save"), "file set changed");
+    assert!(
+        names.contains(&"manifest-g00000001.wt".to_string()),
+        "fixture must be a generation-1 commit: {names:?}"
+    );
+    for name in &names {
+        assert_eq!(
+            std::fs::read(dir.join(name)).unwrap(),
+            std::fs::read(tmp.join(name)).unwrap(),
+            "store fixture file {name} changed"
+        );
+    }
+    std::fs::remove_dir_all(&tmp).unwrap();
+    // Reader compat, strict and resilient.
+    let loaded = TieredStrings::load_dir(&dir).unwrap();
+    assert_store_matches(&loaded, &st);
+}
+
+/// Extends the fixture store — the image a torn save *almost* committed.
+fn fixture_store_next() -> TieredStrings {
+    let mut st = fixture_store();
+    for i in 0..12 {
+        st.push(format!("http://new.example/p{i}"));
+    }
+    st
+}
+
+/// Writes the torn-save image into `dir`: generation 1 fully committed,
+/// then a save of the extended store killed at its first segment write,
+/// leaving one torn `*.tmp` behind. Deterministic (fixed fault seed).
+fn write_torn_fixture(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    fixture_store().save_dir(dir).unwrap();
+    // Ops 0/1 of the second save are create-dir + list; op 2 is the first
+    // temp-file write — kill there, tearing the write mid-buffer.
+    let faulty = FaultStorage::new(
+        &FsStorage,
+        FaultPlan {
+            fail_from: Some(2),
+            torn_writes: true,
+            seed: 0x70_12_5A_FE,
+            transient: Vec::new(),
+        },
+    );
+    let err = fixture_store_next()
+        .inner()
+        .save_dir_with(&faulty, dir)
+        .expect_err("save must die at the injected fault");
+    assert!(err.file().is_some(), "fault should name the torn file");
+}
+
+#[test]
+fn tiered_store_torn_fixture() {
+    // `store-torn-v1` freezes the aftermath of a crash mid-save: the old
+    // committed generation plus a partial temp of the never-committed next
+    // one. Both loaders must serve the OLD image — and keep doing so
+    // byte-for-byte as the recovery code evolves.
+    let st = fixture_store();
+    let dir = fixture_dir().join("store-torn-v1");
+    if regen() {
+        write_torn_fixture(&dir);
+        return;
+    }
+    let names = dir_names(&dir, "store-torn-v1");
+    assert!(
+        names.iter().any(|n| n.ends_with(".tmp")),
+        "torn fixture must hold a partial temp: {names:?}"
+    );
+    // Writer compat of the torn state itself: replaying the same crash
+    // reproduces the fixture exactly (same commit bytes, same torn prefix).
+    let tmp = std::env::temp_dir().join(format!("wt-golden-torn-{}", std::process::id()));
+    write_torn_fixture(&tmp);
+    assert_eq!(names, dir_names(&tmp, "replayed torn save"));
+    for name in &names {
+        assert_eq!(
+            std::fs::read(dir.join(name)).unwrap(),
+            std::fs::read(tmp.join(name)).unwrap(),
+            "torn fixture file {name} changed"
+        );
+    }
+    // Strict load (read-only) serves the old committed generation.
+    let loaded = TieredStrings::load_dir(&dir).unwrap();
+    assert_store_matches(&loaded, &st);
+    // Resilient load agrees, sweeps exactly the torn temp, loses nothing.
+    let (recovered, report) = TieredStrings::recover_dir(&tmp).unwrap();
+    assert!(report.is_clean(), "torn dir should recover clean: {report}");
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.temps_removed.len(), 1, "{report}");
+    assert_store_matches(&recovered, &st);
+    // After recovery the swept dir still loads byte-compatibly: a re-save
+    // of the recovered store reproduces the committed generation's bytes.
+    let resaved =
+        std::env::temp_dir().join(format!("wt-golden-torn-resave-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&resaved);
+    recovered.save_dir(&resaved).unwrap();
+    for name in dir_names(&resaved, "resaved recovery") {
+        assert_eq!(
+            std::fs::read(resaved.join(&name)).unwrap(),
+            std::fs::read(dir.join(&name)).unwrap(),
+            "recovered image diverged from the committed generation ({name})"
+        );
+    }
+    std::fs::remove_dir_all(&tmp).unwrap();
+    std::fs::remove_dir_all(&resaved).unwrap();
 }

@@ -333,10 +333,15 @@ fn indexed_strings_file_roundtrip() {
     for i in 0..idx.len() {
         assert_eq!(loaded.get_string(i), idx.get_string(i));
     }
-    assert!(matches!(
-        IndexedStrings::load(dir.join("missing.wt")),
-        Err(wt_bits::LoadError::Io(_))
-    ));
+    // Errors out of file entry points carry the offending path.
+    let missing = dir.join("missing.wt");
+    match IndexedStrings::load(&missing) {
+        Err(wt_bits::LoadError::InFile { path, cause }) => {
+            assert_eq!(path, missing);
+            assert!(matches!(*cause, wt_bits::LoadError::Io(_)));
+        }
+        other => panic!("expected path-tagged Io error, got {other:?}"),
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
