@@ -16,15 +16,23 @@
 //!   worker threads (subtrie tasks + chunk-parallel RRR encode). Note the
 //!   `cores` field: thread scaling is only meaningful when the host grants
 //!   more than one CPU.
+//! * **concurrent read scaling** — 1/2/4 *real* reader threads, each
+//!   holding a published `StoreSnapshot` of a tiered store and running
+//!   batch-64 `access`/`rank`/`count_prefix` kernels; reported as
+//!   aggregate throughput and speedup vs one thread. Snapshots are
+//!   `Send + Sync` and wait-free on the query path, so this lane measures
+//!   genuine parallel serving, not time-sliced interleaving.
 //!
 //! Writes machine-readable `BENCH_throughput.json`.
 //!
 //! Usage: `throughput_report [--quick] [--out PATH]`
 
+use std::sync::Barrier;
+
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
 use wavelet_trie::{BitStr, BitString, DynamicWaveletTrie, SeqIndex, WaveletTrie};
 use wt_bench::{fmt_ns, time_per_op_ns, xorshift, Table};
-use wt_store::{StoreConfig, TieredStore};
+use wt_store::{StoreConfig, StoreSnapshot, TieredStore};
 use wt_workloads::urls::{url_log, UrlLogConfig};
 use wt_workloads::words::word_text;
 
@@ -45,6 +53,18 @@ struct BuildSeries {
     threads: usize,
     n: usize,
     ms: f64,
+}
+
+/// One measured concurrent-read point (aggregate across reader threads).
+struct ReadSeries {
+    workload: &'static str,
+    op: &'static str,
+    threads: usize,
+    batch: usize,
+    n: usize,
+    total_ops: usize,
+    wall_ms: f64,
+    mops: f64,
 }
 
 const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
@@ -302,7 +322,181 @@ fn bench_construction(quick: bool, out: &mut Vec<BuildSeries>) {
     println!();
 }
 
-fn write_json(path: &str, mode: &str, queries: &[QuerySeries], builds: &[BuildSeries]) {
+/// Measures how well *pure register-only CPU work* (no memory traffic, no
+/// locks, no allocation) scales from 1 to 2 threads on this host. On an
+/// oversubscribed cloud box "2 cores" can deliver well under 2x even for
+/// embarrassingly parallel spin loops; this ceiling is the fair yardstick
+/// for the read-scaling lane — a reader speedup at or above it means the
+/// snapshot path added no contention of its own.
+fn cpu_scaling_ceiling_2t() -> f64 {
+    fn spin(iters: u64) -> u64 {
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            acc = acc.wrapping_add(s);
+        }
+        acc
+    }
+    let iters = 150_000_000u64;
+    let wall = |threads: usize| {
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|sc| {
+            let hs: Vec<_> = (0..threads)
+                .map(|_| sc.spawn(move || spin(iters)))
+                .collect();
+            for h in hs {
+                std::hint::black_box(h.join().expect("spin thread panicked"));
+            }
+        });
+        t0.elapsed().as_secs_f64()
+    };
+    let one = wall(1).min(wall(1));
+    let two = wall(2).min(wall(2));
+    2.0 * one / two
+}
+
+/// Concurrent read scaling: 1/2/4 reader threads, each holding its own
+/// `StoreSnapshot` of the same published epoch, hammering batch-64 query
+/// kernels. Every thread does a *fixed* amount of work, so aggregate
+/// throughput (total ops / wall) scales with threads exactly when the
+/// snapshot read path is contention-free.
+fn bench_read_scaling(quick: bool, ceiling_2t: f64, out: &mut Vec<ReadSeries>) {
+    const RB: usize = 64;
+    let n = if quick { 150_000 } else { 1_000_000 };
+    let per_thread_ops = if quick { 64_000 } else { 512_000 };
+    println!("== concurrent read scaling (one StoreSnapshot per reader thread, batch {RB}) ==");
+    println!("   host pure-CPU 2-thread ceiling: {ceiling_2t:.2}x\n");
+    let t = Table::new(
+        &["op", "threads", "wall", "Mop/s", "vs 1T"],
+        &[14, 7, 10, 9, 7],
+    );
+    let url_cfg = UrlLogConfig {
+        hosts: 2000,
+        ..UrlLogConfig::default()
+    };
+    let encoded = encode_all(&url_log(n, url_cfg, 23));
+    let mut store = TieredStore::with_config(StoreConfig {
+        seal_at: n / 5,
+        max_sealed: 8,
+    });
+    for s in &encoded {
+        store.append(s.as_bitstr()).expect("prefix-free");
+    }
+    store.publish();
+    let reader = store.reader();
+
+    let mut next = xorshift(0xC0FFEE);
+    let positions: Vec<usize> = (0..POOL + 512)
+        .map(|_| (next() % n as u64) as usize)
+        .collect();
+    let rank_q: Vec<(BitStr<'_>, usize)> = (0..POOL + 512)
+        .map(|_| {
+            let s = &encoded[(next() % n as u64) as usize];
+            (s.as_bitstr(), (next() % (n as u64 + 1)) as usize)
+        })
+        .collect();
+    let prefixes: Vec<BitStr<'_>> = (0..POOL + 512)
+        .map(|_| {
+            let s = &encoded[(next() % n as u64) as usize];
+            s.as_bitstr().prefix((s.len() / 9).min(12) * 9)
+        })
+        .collect();
+
+    type Kernel<'a> = Box<dyn Fn(&StoreSnapshot, usize) + Sync + 'a>;
+    let kernels: [(&'static str, Kernel<'_>); 3] = [
+        (
+            "access",
+            Box::new(|snap, k| {
+                std::hint::black_box(snap.access_batch(&positions[k..k + RB]));
+            }),
+        ),
+        (
+            "rank",
+            Box::new(|snap, k| {
+                std::hint::black_box(snap.rank_batch(&rank_q[k..k + RB]));
+            }),
+        ),
+        (
+            "count_prefix",
+            Box::new(|snap, k| {
+                std::hint::black_box(snap.count_prefix_batch(&prefixes[k..k + RB]));
+            }),
+        ),
+    ];
+    for (op, kernel) in &kernels {
+        let mut base_mops = 0.0f64;
+        for threads in [1usize, 2, 4] {
+            let mut best_wall = f64::INFINITY;
+            for _ in 0..2 {
+                let barrier = Barrier::new(threads + 1);
+                let wall = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|ti| {
+                            let reader = reader.clone();
+                            let barrier = &barrier;
+                            scope.spawn(move || {
+                                let snap = reader.snapshot();
+                                barrier.wait();
+                                // Decorrelate thread starting offsets so the
+                                // threads don't march through the pool in
+                                // cache-sharing lockstep.
+                                let mut at = ti * 977;
+                                let mut done = 0usize;
+                                while done < per_thread_ops {
+                                    kernel(&snap, at % POOL);
+                                    at += RB;
+                                    done += RB;
+                                }
+                            })
+                        })
+                        .collect();
+                    barrier.wait();
+                    let t0 = std::time::Instant::now();
+                    for h in handles {
+                        h.join().expect("reader thread panicked");
+                    }
+                    t0.elapsed().as_secs_f64()
+                });
+                best_wall = best_wall.min(wall);
+            }
+            let total_ops = per_thread_ops * threads;
+            let mops = total_ops as f64 / best_wall / 1e6;
+            if threads == 1 {
+                base_mops = mops;
+            }
+            t.row(&[
+                op,
+                &threads.to_string(),
+                &format!("{:.0}ms", best_wall * 1e3),
+                &format!("{mops:.2}"),
+                &format!("{:.2}x", mops / base_mops),
+            ]);
+            out.push(ReadSeries {
+                workload: "url_tiered",
+                op,
+                threads,
+                batch: RB,
+                n,
+                total_ops,
+                wall_ms: best_wall * 1e3,
+                mops,
+            });
+        }
+    }
+    println!();
+}
+
+fn write_json(
+    path: &str,
+    mode: &str,
+    ceiling_2t: f64,
+    queries: &[QuerySeries],
+    builds: &[BuildSeries],
+    reads: &[ReadSeries],
+) {
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
@@ -311,6 +505,7 @@ fn write_json(path: &str, mode: &str, queries: &[QuerySeries], builds: &[BuildSe
     s.push_str("  \"bench\": \"throughput_report\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str(&format!("  \"cpu_scaling_ceiling_2t\": {ceiling_2t:.2},\n"));
     s.push_str("  \"batch_results\": [\n");
     for (i, q) in queries.iter().enumerate() {
         s.push_str(&format!(
@@ -324,6 +519,40 @@ fn write_json(path: &str, mode: &str, queries: &[QuerySeries], builds: &[BuildSe
             q.scalar_ns_per_op,
             q.scalar_ns_per_op / q.ns_per_op,
             if i + 1 < queries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"read_results\": [\n");
+    let read_base = |op: &str| {
+        reads
+            .iter()
+            .find(|r| r.op == op && r.threads == 1)
+            .map(|r| r.mops)
+            .unwrap_or(0.0)
+    };
+    for (i, r) in reads.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"op\": \"{}\", \"threads\": {}, \"batch\": {}, \
+             \"n\": {}, \"total_ops\": {}, \"wall_ms\": {:.1}, \"mops\": {:.2}, \
+             \"speedup_vs_1t\": {:.2}{}}}{}\n",
+            r.workload,
+            r.op,
+            r.threads,
+            r.batch,
+            r.n,
+            r.total_ops,
+            r.wall_ms,
+            r.mops,
+            r.mops / read_base(r.op),
+            if r.threads == 2 {
+                format!(
+                    ", \"efficiency_vs_host_ceiling\": {:.2}",
+                    (r.mops / read_base(r.op)) / ceiling_2t
+                )
+            } else {
+                String::new()
+            },
+            if i + 1 < reads.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
@@ -351,8 +580,9 @@ fn write_json(path: &str, mode: &str, queries: &[QuerySeries], builds: &[BuildSe
     s.push_str("  ]\n}\n");
     std::fs::write(path, s).expect("write BENCH_throughput.json");
     println!(
-        "wrote {path} ({} query series, {} build points, {cores} core(s))",
+        "wrote {path} ({} query series, {} read points, {} build points, {cores} core(s))",
         queries.len(),
+        reads.len(),
         builds.len()
     );
 }
@@ -369,7 +599,10 @@ fn main() {
     let mode = if quick { "quick" } else { "full" };
     let mut queries = Vec::new();
     let mut builds = Vec::new();
+    let mut reads = Vec::new();
+    let ceiling_2t = cpu_scaling_ceiling_2t();
     bench_query_section(quick, &mut queries);
+    bench_read_scaling(quick, ceiling_2t, &mut reads);
     bench_construction(quick, &mut builds);
-    write_json(&out_path, mode, &queries, &builds);
+    write_json(&out_path, mode, ceiling_2t, &queries, &builds, &reads);
 }

@@ -159,6 +159,13 @@ pub struct RetryPolicy {
     /// Sleep before retry `i` is `base_backoff << (i - 1)`; set to zero
     /// in tests to keep fault-injection runs instant.
     pub base_backoff: Duration,
+    /// Total-deadline cap: once this much wall time has elapsed since the
+    /// first attempt, no further retries are made and the last error is
+    /// returned. `None` bounds retries by `attempts` alone. This is the
+    /// guard against a *persistently* failing-but-retryable disk (e.g.
+    /// endless `TimedOut`): attempts bound the count, this bounds the
+    /// duration, whichever trips first wins.
+    pub max_elapsed: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -166,6 +173,9 @@ impl Default for RetryPolicy {
         RetryPolicy {
             attempts: 3,
             base_backoff: Duration::from_millis(1),
+            // 3 attempts × ~ms backoffs is already bounded; the cap
+            // matters for callers that raise `attempts`.
+            max_elapsed: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -174,6 +184,7 @@ impl RetryPolicy {
     /// Runs `f`, retrying on retryable errors per the policy.
     pub fn run<T>(&self, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
         let attempts = self.attempts.max(1);
+        let started = std::time::Instant::now();
         let mut attempt = 0u32;
         loop {
             match f() {
@@ -184,6 +195,14 @@ impl RetryPolicy {
                         return Err(e);
                     }
                     let backoff = self.base_backoff * (1 << (attempt - 1).min(16));
+                    let out_of_time = self.max_elapsed.is_some_and(|cap| {
+                        // Count the upcoming sleep against the deadline
+                        // too: never start a backoff that would overrun it.
+                        started.elapsed().saturating_add(backoff) >= cap
+                    });
+                    if out_of_time {
+                        return Err(e);
+                    }
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
@@ -496,6 +515,11 @@ pub struct FaultPlan {
     /// Operation indices that fail once with `Interrupted`, then succeed
     /// on retry (the retry re-runs them under fresh indices).
     pub transient: Vec<u64>,
+    /// Error kind for `fail_from` failures (default: a non-retryable
+    /// `Other`). Set to a retryable kind — e.g. `TimedOut` — to model a
+    /// disk that keeps failing *retryably* forever, which is what the
+    /// [`RetryPolicy::max_elapsed`] deadline exists to bound.
+    pub fail_kind: Option<io::ErrorKind>,
 }
 
 #[derive(Debug, Default)]
@@ -551,7 +575,8 @@ impl<'a> FaultStorage<'a> {
         if let Some(k) = self.plan.fail_from {
             if idx >= k {
                 g.fired = true;
-                return Err(io::Error::other(format!("injected crash at op {idx}")));
+                let kind = self.plan.fail_kind.unwrap_or(io::ErrorKind::Other);
+                return Err(io::Error::new(kind, format!("injected crash at op {idx}")));
             }
         }
         Ok(idx)
@@ -691,7 +716,7 @@ mod tests {
                     fail_from: Some(k),
                     torn_writes: true,
                     seed: 0x7EA4 ^ k,
-                    transient: vec![],
+                    ..FaultPlan::default()
                 },
             );
             let res = write_atomic(&fault, &file, b"new-contents-longer");
@@ -725,6 +750,7 @@ mod tests {
             RetryPolicy {
                 attempts: 3,
                 base_backoff: Duration::ZERO,
+                max_elapsed: None,
             },
         );
         retrying.write(&p("/d/a"), b"x").unwrap();
@@ -749,6 +775,7 @@ mod tests {
         let policy = RetryPolicy {
             attempts: 5,
             base_backoff: Duration::ZERO,
+            max_elapsed: None,
         };
         let r: io::Result<()> = policy.run(|| {
             calls += 1;
@@ -763,5 +790,58 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(calls, 5, "transient errors retry to exhaustion");
+    }
+
+    #[test]
+    fn retry_deadline_bounds_a_persistently_timing_out_disk() {
+        // A disk that fails every operation with a *retryable* TimedOut:
+        // without max_elapsed, a generous attempt budget would grind
+        // through every attempt; the deadline cuts it off.
+        let fs = MemFs::new();
+        let fault = FaultStorage::new(
+            &fs,
+            FaultPlan {
+                fail_from: Some(0),
+                fail_kind: Some(io::ErrorKind::TimedOut),
+                ..FaultPlan::default()
+            },
+        );
+        let started = std::time::Instant::now();
+        let retrying = RetryingStorage::new(
+            &fault,
+            RetryPolicy {
+                attempts: u32::MAX, // effectively unbounded by count
+                base_backoff: Duration::from_millis(1),
+                max_elapsed: Some(Duration::from_millis(20)),
+            },
+        );
+        let err = retrying.write(&p("/d/a"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // Generous bound: the point is that it returned at all, promptly,
+        // instead of retrying ~forever.
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline did not bound retries: {:?}",
+            started.elapsed()
+        );
+        // And the deadline alone (zero budget) means exactly one attempt.
+        let fault2 = FaultStorage::new(
+            &fs,
+            FaultPlan {
+                fail_from: Some(0),
+                fail_kind: Some(io::ErrorKind::TimedOut),
+                ..FaultPlan::default()
+            },
+        );
+        let retrying2 = RetryingStorage::new(
+            &fault2,
+            RetryPolicy {
+                attempts: 10,
+                base_backoff: Duration::ZERO,
+                max_elapsed: Some(Duration::ZERO),
+            },
+        );
+        assert!(retrying2.write(&p("/d/a"), b"x").is_err());
+        assert_eq!(fault2.ops(), 1, "expired deadline stops after attempt 1");
     }
 }

@@ -59,6 +59,7 @@
 //! survives, quarantine the rest, return a [`RecoveryReport`]).
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use wavelet_trie::{DynamicWaveletTrie, SeqIndex, WaveletTrie};
 use wt_bits::persist::{kind, Archive, ArchiveWriter, LoadError};
@@ -429,7 +430,7 @@ fn load_generation(
                     "sealed segment length vs manifest",
                 ));
             }
-            segments.push(Segment::Sealed(Box::new(SealedSegment::new(wt))));
+            segments.push(Segment::Sealed(Arc::new(SealedSegment::new(wt))));
         } else {
             let (h, _) =
                 replay_hot_log(&bytes, false).map_err(|e| StoreError::format(&spath, e))?;
@@ -439,7 +440,7 @@ fn load_generation(
                     "hot segment length vs manifest",
                 ));
             }
-            segments.push(Segment::Hot(h));
+            segments.push(Segment::Hot(Arc::new(h)));
         }
         sum = sum
             .checked_add(seg_len)
@@ -451,12 +452,7 @@ fn load_generation(
     if !matches!(segments.last(), Some(Segment::Hot(_))) {
         return Err(StoreError::validate(&mpath, "store must end in a hot tail"));
     }
-    Ok(TieredStore {
-        segments,
-        len: sum,
-        config: manifest.config,
-        directory: std::cell::RefCell::new(None),
-    })
+    Ok(TieredStore::from_parts(segments, sum, manifest.config))
 }
 
 // --- resilient recovery ------------------------------------------------------
@@ -534,7 +530,7 @@ impl TieredStore {
                 match WaveletTrie::load_bytes(&bytes) {
                     Ok(wt) if wt.len() == seg_len && seg_len > 0 => {
                         report.strings_recovered += seg_len;
-                        segments.push(Segment::Sealed(Box::new(SealedSegment::new(wt))));
+                        segments.push(Segment::Sealed(Arc::new(SealedSegment::new(wt))));
                     }
                     Ok(_) => {
                         report.quarantined.push(Quarantine {
@@ -570,7 +566,7 @@ impl TieredStore {
                         report.strings_lost += lost;
                         report.strings_recovered += got;
                         report.hot_replayed += got;
-                        segments.push(Segment::Hot(h));
+                        segments.push(Segment::Hot(Arc::new(h)));
                     }
                     Err(e) => {
                         report.quarantined.push(Quarantine {
@@ -585,15 +581,10 @@ impl TieredStore {
         }
         // The store invariant: the segment list ends in a hot tail.
         if !matches!(segments.last(), Some(Segment::Hot(_))) {
-            segments.push(Segment::Hot(DynamicWaveletTrie::new()));
+            segments.push(Segment::Hot(Arc::new(DynamicWaveletTrie::new())));
         }
         let len = segments.iter().map(|g| g.len()).sum();
-        let store = TieredStore {
-            segments,
-            len,
-            config: manifest.config,
-            directory: std::cell::RefCell::new(None),
-        };
+        let store = TieredStore::from_parts(segments, len, manifest.config);
         // Sweep stale temps — in-flight writes of a save that died.
         if let Ok(names) = storage.list(dir) {
             for name in names {

@@ -18,14 +18,13 @@
 //!   freeze) so the segment count stays bounded by `max_sealed`.
 //!
 //! Global positions are routed through an Elias–Fano-backed segment
-//! directory ([`wt_bits::EliasFano`] over the cumulative segment lengths,
-//! rebuilt lazily after mutations). Queries merge per-segment answers:
-//! `rank`/`count` sum across segments, `select` walks segment counts with
-//! early exit, and the §5 analytics (distinct values, majority, frequent)
-//! combine per-segment results exactly — every operation returns the same
-//! answer a single monolithic Wavelet Trie over the concatenated sequence
-//! would (the randomized op-interleave suite pins this against a naive
-//! oracle).
+//! directory ([`wt_bits::EliasFano`] over the cumulative segment lengths).
+//! Queries merge per-segment answers: `rank`/`count` sum across segments,
+//! `select` walks segment counts with early exit, and the §5 analytics
+//! (distinct values, majority, frequent) combine per-segment results
+//! exactly — every operation returns the same answer a single monolithic
+//! Wavelet Trie over the concatenated sequence would (the randomized
+//! op-interleave suite pins this against a naive oracle).
 //!
 //! Heterogeneous segments — static or dynamic — sit behind the object-safe
 //! [`SeqIndex`] trait; the store itself implements [`SeqIndex`] too, so a
@@ -36,53 +35,86 @@
 //! invariant the per-segment tries rely on and keeping results identical
 //! to the monolithic equivalent.
 //!
-//! Thread-safety story: the pieces a reader actually shares across threads
-//! — the static [`wavelet_trie::WaveletTrie`] inside every sealed segment,
-//! and the `wt_bits` substrates under it — are fully immutable and
-//! `Send + Sync` (compile-time asserted below); the parallel construction
-//! paths (`seal`/`compact` freezing segments on `std::thread::scope`
-//! workers, the chunk-parallel RRR encode) rely on exactly that. The
-//! `TieredStore` handle itself is `Send` but **not** `Sync`: the lazily
-//! rebuilt segment directory and the per-sealed-segment `admits` memo live
-//! in [`RefCell`]s. Move it between threads freely, shard per thread, or
-//! wrap it in a lock for concurrent mutation; for read-mostly fan-out,
-//! clone sealed segments out or query them through `&dyn SeqIndex` from
-//! the owning thread's batched entry points.
+//! # Concurrency model: epoch-swapped snapshots
+//!
+//! The store serves concurrent traffic with a single-writer /
+//! many-readers design (see the [`snapshot`] module docs for the full
+//! picture):
+//!
+//! * Every handle here is thread-safe: [`TieredStore`], [`StoreReader`]
+//!   and [`StoreSnapshot`] are all `Send + Sync` (compile-time asserted
+//!   below). Mutation goes through `&mut self`, so Rust's borrow rules
+//!   enforce the single writer statically.
+//! * The writer calls [`TieredStore::publish`] at the consistency points
+//!   it chooses; each publish freezes the current segment manifest into an
+//!   immutable epoch and swaps it into a shared slot.
+//! * Readers hold a [`StoreReader`] (from [`TieredStore::reader`]) and
+//!   take [`StoreSnapshot`]s from any thread, wait-free of the query path:
+//!   a snapshot is an `Arc` of the published epoch and keeps answering
+//!   bit-identically to its publish point no matter what the writer does
+//!   next — sealed segments are immutable behind `Arc`, and the hot tail
+//!   is copy-on-write ([`std::sync::Arc::make_mut`]), so the writer's
+//!   post-publish mutations land on a private copy.
+//! * Background maintenance — seal, compact, persist, publish — runs
+//!   under panic containment with retries and a structured report; see
+//!   [`TieredStore::maintain`] and the [`maintain`] module. A maintenance
+//!   step that fails or panics leaves the previous epoch served
+//!   bit-identically; nothing observable from the query API ever panics
+//!   or poisons a lock (the interleave harness in `tests/interleave.rs`
+//!   enumerates every step and proves it).
+//!
+//! Interior caches (the lazily rebuilt segment directory and the
+//! per-sealed-segment `admits` memo) are poison-proof mutexes: they hold
+//! pure memoized values, so a panic mid-update cannot violate an
+//! invariant, and both sides recover the lock instead of cascading the
+//! panic.
 
 pub mod durable;
 pub mod error;
+pub mod maintain;
+pub(crate) mod merged;
+pub mod snapshot;
 pub mod text;
 
 pub use error::{Quarantine, RecoveryReport, StoreError, StoreErrorCause, StoreOp};
+pub use maintain::{
+    Maintenance, MaintenanceFailure, MaintenanceProbe, MaintenanceReport, MaintenanceStep, NoProbe,
+};
+pub use snapshot::{StoreReader, StoreSnapshot};
 pub use text::TieredStrings;
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
 
+use crate::merged::{impl_seq_index_for_segmented, SegmentedRead};
+use crate::snapshot::{Epoch, EpochSlot};
 use wavelet_trie::{DynamicWaveletTrie, SeqIndex, WaveletTrie};
 use wt_bits::{EliasFano, SpaceUsage};
 use wt_trie::{BitStr, BitString, PrefixFreeViolation};
 
-// Compile-time pins of the thread-safety story documented above: the
-// shared read-only structures must stay `Send + Sync` (scoped-thread
-// construction and cross-thread readers depend on it), and the store
-// handle must stay movable between threads despite its interior caches.
+// Compile-time pins of the thread-safety story documented above: every
+// public handle is fully thread-safe — the store itself (share `&TieredStore`
+// for reads, `&mut` for the single writer), the reader handle, and the
+// snapshots served to query threads — as are the shared read-only
+// structures underneath (scoped-thread construction and cross-thread
+// readers depend on those).
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
-    const fn assert_send<T: Send>() {}
+    // The store handle: thread-safe; `&mut` statically enforces one writer.
+    assert_send_sync::<TieredStore>();
+    assert_send_sync::<text::TieredStrings>();
+    // The concurrent-serving surface.
+    assert_send_sync::<StoreReader>();
+    assert_send_sync::<StoreSnapshot>();
     // Sealed-segment payload (and anything built from it).
     assert_send_sync::<WaveletTrie>();
     // The compressed bitvector substrate of every static segment.
     assert_send_sync::<wt_bits::RrrVector>();
     // The hot tier freezes on worker threads via `&DynamicWaveletTrie`.
     assert_send_sync::<DynamicWaveletTrie>();
-    // The store handle: `Send`, deliberately not `Sync` (RefCell caches).
-    assert_send::<TieredStore>();
-    assert_send::<text::TieredStrings>();
 };
 
 /// Worker threads for segment freezes: the machine's parallelism, bounded.
-fn auto_freeze_threads() -> usize {
+pub(crate) fn auto_freeze_threads() -> usize {
     std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1)
@@ -144,66 +176,85 @@ impl AdmitsCache {
     }
 }
 
-/// An immutable static segment plus its admits memo.
-#[derive(Clone, Debug)]
-struct SealedSegment {
-    wt: WaveletTrie,
-    admits: RefCell<AdmitsCache>,
+/// An immutable static segment plus its admits memo. Shared between the
+/// live store and any number of published epochs behind an `Arc`.
+#[derive(Debug)]
+pub(crate) struct SealedSegment {
+    pub(crate) wt: WaveletTrie,
+    /// Memoized `admits` verdicts. A poison-proof mutex, not a `RefCell`:
+    /// concurrent readers may race on the memo, and a panic mid-update
+    /// cannot corrupt it (entries are inserted whole), so a poisoned lock
+    /// is recovered rather than propagated.
+    admits: Mutex<AdmitsCache>,
 }
 
 impl SealedSegment {
-    fn new(wt: WaveletTrie) -> Self {
+    pub(crate) fn new(wt: WaveletTrie) -> Self {
         SealedSegment {
             wt,
-            admits: RefCell::new(AdmitsCache::default()),
+            admits: Mutex::new(AdmitsCache::default()),
         }
     }
 
     /// The §3 prefix-free check through the per-generation memo.
     fn admits_cached(&self, s: BitStr<'_>) -> bool {
-        if let Some(v) = self.admits.borrow().lookup(s) {
+        if let Some(v) = self
+            .admits
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lookup(s)
+        {
             return v;
         }
         let v = SeqIndex::admits(&self.wt, s);
-        self.admits.borrow_mut().store(s, v);
+        self.admits
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store(s, v);
         v
     }
 }
 
 /// One tier member: an immutable sealed segment or a hot dynamic one.
+/// Cloning is an `Arc` bump — epochs share segments with the live store;
+/// the writer mutates hot segments copy-on-write via [`Arc::make_mut`].
 #[derive(Clone, Debug)]
-enum Segment {
-    Sealed(Box<SealedSegment>),
-    Hot(DynamicWaveletTrie),
+pub(crate) enum Segment {
+    Sealed(Arc<SealedSegment>),
+    Hot(Arc<DynamicWaveletTrie>),
 }
 
 impl Segment {
+    fn new_hot() -> Self {
+        Segment::Hot(Arc::new(DynamicWaveletTrie::new()))
+    }
+
     /// The object-safe query view — static and dynamic segments are
     /// indistinguishable to the read path.
-    fn index(&self) -> &dyn SeqIndex {
+    pub(crate) fn index(&self) -> &dyn SeqIndex {
         match self {
             Segment::Sealed(s) => &s.wt,
-            Segment::Hot(h) => h,
+            Segment::Hot(h) => h.as_ref(),
         }
     }
 
     /// `admits`, memoized for sealed segments (hot ones mutate, so their
     /// verdicts are computed fresh).
-    fn admits(&self, s: BitStr<'_>) -> bool {
+    pub(crate) fn admits(&self, s: BitStr<'_>) -> bool {
         match self {
             Segment::Sealed(g) => g.admits_cached(s),
-            Segment::Hot(h) => SeqIndex::admits(h, s),
+            Segment::Hot(h) => SeqIndex::admits(h.as_ref(), s),
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             Segment::Sealed(s) => s.wt.len(),
             Segment::Hot(h) => h.len(),
         }
     }
 
-    fn is_sealed(&self) -> bool {
+    pub(crate) fn is_sealed(&self) -> bool {
         matches!(self, Segment::Sealed(_))
     }
 }
@@ -212,19 +263,49 @@ impl Segment {
 ///
 /// The segment list always ends in a hot tail (possibly empty); sealed
 /// segments and melted middles precede it in sequence order.
-#[derive(Clone, Debug)]
+///
+/// Queries through `&TieredStore` read the **live** state (and are safe
+/// from any thread — the handle is `Sync`); concurrent serving against a
+/// mutating store goes through published [`StoreSnapshot`]s instead (see
+/// [`TieredStore::publish`] / [`TieredStore::reader`]).
+#[derive(Debug)]
 pub struct TieredStore {
     segments: Vec<Segment>,
     len: usize,
     config: StoreConfig,
     /// Elias–Fano over cumulative segment lengths (`segments.len() + 1`
-    /// values starting at 0); rebuilt lazily after any mutation.
-    directory: RefCell<Option<EliasFano>>,
+    /// values starting at 0); rebuilt lazily after any mutation. A
+    /// poison-proof mutex: it memoizes a pure function of `segments`, so
+    /// recovery from a poisoned lock is always sound.
+    directory: Mutex<Option<EliasFano>>,
+    /// The published-epoch slot shared with every [`StoreReader`].
+    slot: Arc<EpochSlot>,
+    /// Last published epoch version (0 = the construction-time epoch).
+    version: u64,
 }
 
 impl Default for TieredStore {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for TieredStore {
+    /// Clones the store: segments are shared structurally (`Arc`), but the
+    /// clone gets its **own** epoch slot — existing [`StoreReader`]s keep
+    /// following the original, and the clone starts its version counter
+    /// afresh with its current state published.
+    fn clone(&self) -> Self {
+        let segments = self.segments.clone();
+        let slot = Arc::new(EpochSlot::new(Epoch::new(0, segments.clone(), self.len)));
+        TieredStore {
+            segments,
+            len: self.len,
+            config: self.config,
+            directory: Mutex::new(None),
+            slot,
+            version: 0,
+        }
     }
 }
 
@@ -236,11 +317,20 @@ impl TieredStore {
 
     /// An empty store with an explicit policy.
     pub fn with_config(config: StoreConfig) -> Self {
+        Self::from_parts(vec![Segment::new_hot()], 0, config)
+    }
+
+    /// Assembles a store from loaded parts and publishes the initial
+    /// epoch (version 0) so readers can serve immediately.
+    pub(crate) fn from_parts(segments: Vec<Segment>, len: usize, config: StoreConfig) -> Self {
+        let slot = Arc::new(EpochSlot::new(Epoch::new(0, segments.clone(), len)));
         TieredStore {
-            segments: vec![Segment::Hot(DynamicWaveletTrie::new())],
-            len: 0,
+            segments,
+            len,
             config,
-            directory: RefCell::new(None),
+            directory: Mutex::new(None),
+            slot,
+            version: 0,
         }
     }
 
@@ -286,6 +376,37 @@ impl TieredStore {
         self.segments.iter().map(|g| g.index())
     }
 
+    // --- concurrent serving ------------------------------------------------
+
+    /// Publishes the current state as a new immutable epoch and returns a
+    /// snapshot of it. Readers (via [`TieredStore::reader`]) switch to the
+    /// new epoch on their next `snapshot()`; snapshots already taken keep
+    /// serving their own epoch unchanged.
+    ///
+    /// Cost: O(#segments) `Arc` clones plus one small Elias–Fano build,
+    /// and the writer's *next* mutation of the hot tail pays one
+    /// copy-on-write clone of it (none if the tail was empty here).
+    pub fn publish(&mut self) -> StoreSnapshot {
+        self.version += 1;
+        let epoch = Arc::new(Epoch::new(self.version, self.segments.clone(), self.len));
+        self.slot.swap(Arc::clone(&epoch));
+        StoreSnapshot::from_epoch(epoch)
+    }
+
+    /// Version of the last published epoch (0 until the first
+    /// [`TieredStore::publish`]).
+    pub fn published_version(&self) -> u64 {
+        self.version
+    }
+
+    /// A cloneable, `Send + Sync` handle for taking snapshots of this
+    /// store's published state from any thread.
+    pub fn reader(&self) -> StoreReader {
+        StoreReader {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+
     // --- mutation ----------------------------------------------------------
 
     /// Appends `s` at the end (the hot tail), sealing/compacting per the
@@ -316,11 +437,15 @@ impl TieredStore {
         let (seg, off) = self.locate_for_insert(pos);
         self.melt(seg);
         match &mut self.segments[seg] {
-            Segment::Hot(h) => h.insert(s, off).expect("pre-checked by admits"),
+            // `admits` above checked every segment, including this one, so
+            // the insert cannot raise a prefix-free violation here.
+            Segment::Hot(h) => Arc::make_mut(h)
+                .insert(s, off)
+                .expect("pre-checked by admits"),
             Segment::Sealed(_) => unreachable!("melted above"),
         }
         self.len += 1;
-        *self.directory.get_mut() = None;
+        self.invalidate_directory();
         self.roll();
         Ok(())
     }
@@ -335,14 +460,14 @@ impl TieredStore {
         let (seg, off) = self.locate(pos);
         self.melt(seg);
         let out = match &mut self.segments[seg] {
-            Segment::Hot(h) => h.delete(off),
+            Segment::Hot(h) => Arc::make_mut(h).delete(off),
             Segment::Sealed(_) => unreachable!("melted above"),
         };
         self.len -= 1;
         if self.segments[seg].len() == 0 && seg + 1 != self.segments.len() {
             self.segments.remove(seg);
         }
-        *self.directory.get_mut() = None;
+        self.invalidate_directory();
         out
     }
 
@@ -359,55 +484,17 @@ impl TieredStore {
     /// scoped threads; a single hot segment spreads its succinct assembly
     /// (RRR encode, DFUDS, delimiters) across the workers instead. The
     /// resulting segments are bit-identical to a serial seal.
+    ///
+    /// # Panics
+    /// Re-raises a freeze-worker panic (a library bug, not an I/O
+    /// condition) — after restoring the store to a valid, fully
+    /// serviceable state; published epochs are never affected. For
+    /// contained, reported failures use [`TieredStore::maintain`].
     pub fn seal_with_threads(&mut self, threads: usize) {
-        let n_segs = self.segments.len();
-        self.freeze_hot_segments(n_segs, threads);
-        // The old (now empty) hot tail, if any, is dropped here.
-        self.segments.retain(|g| g.len() > 0);
-        self.segments.push(Segment::Hot(DynamicWaveletTrie::new()));
-        *self.directory.get_mut() = None;
-    }
-
-    /// Structurally freezes the non-empty hot segments among the first
-    /// `limit`, on scoped worker threads when more than one needs freezing.
-    fn freeze_hot_segments(&mut self, limit: usize, threads: usize) {
-        let jobs: Vec<usize> = self.segments[..limit]
-            .iter()
-            .enumerate()
-            .filter(|(_, g)| matches!(g, Segment::Hot(h) if !h.is_empty()))
-            .map(|(i, _)| i)
-            .collect();
-        let threads = threads.max(1);
-        let frozen: Vec<(usize, WaveletTrie)> = if jobs.len() <= 1 || threads == 1 {
-            // 0/1 segments to freeze: parallelize inside the freeze instead.
-            jobs.iter()
-                .map(|&i| {
-                    let Segment::Hot(h) = &self.segments[i] else {
-                        unreachable!("jobs hold hot segments");
-                    };
-                    (i, h.freeze_with_threads(threads))
-                })
-                .collect()
-        } else {
-            let segments = &self.segments;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = jobs
-                    .iter()
-                    .map(|&i| {
-                        let Segment::Hot(h) = &segments[i] else {
-                            unreachable!("jobs hold hot segments");
-                        };
-                        s.spawn(move || (i, h.freeze()))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("freeze worker panicked"))
-                    .collect()
-            })
-        };
-        for (i, wt) in frozen {
-            self.segments[i] = Segment::Sealed(Box::new(SealedSegment::new(wt)));
+        let mut failures = Vec::new();
+        self.seal_probed(threads, &NoProbe, &mut failures);
+        if let Some(f) = failures.into_iter().next() {
+            panic!("seal: {f}");
         }
     }
 
@@ -420,24 +507,20 @@ impl TieredStore {
     }
 
     /// [`TieredStore::compact`] with an explicit worker-thread count.
+    ///
+    /// # Panics
+    /// Re-raises a freeze-worker panic, as [`TieredStore::seal_with_threads`]
+    /// does; the store remains valid and published epochs are unaffected.
     pub fn compact_with_threads(&mut self, threads: usize) {
-        let last = self.segments.len() - 1;
-        self.freeze_hot_segments(last, threads);
-        while self.sealed_segments() > self.config.max_sealed {
-            let best = self
-                .sealed_adjacent_pairs()
-                .min_by_key(|&(_, combined)| combined)
-                .map(|(i, _)| i);
-            match best {
-                Some(i) => self.merge_pair(i),
-                None => break,
-            }
+        let mut failures = Vec::new();
+        self.compact_probed(threads, &NoProbe, &mut failures);
+        if let Some(f) = failures.into_iter().next() {
+            panic!("compact: {f}");
         }
-        *self.directory.get_mut() = None;
     }
 
     /// Adjacent `(i, i+1)` sealed pairs with their combined length.
-    fn sealed_adjacent_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+    pub(crate) fn sealed_adjacent_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.segments
             .windows(2)
             .enumerate()
@@ -445,32 +528,11 @@ impl TieredStore {
             .map(|(i, w)| (i, w[0].len() + w[1].len()))
     }
 
-    /// Merges sealed segments `i` and `i + 1`: thaw the left one into the
-    /// append-only backend, append the right one's strings, freeze.
-    fn merge_pair(&mut self, i: usize) {
-        let merged = {
-            let (Segment::Sealed(a), Segment::Sealed(b)) =
-                (&self.segments[i], &self.segments[i + 1])
-            else {
-                unreachable!("merge_pair called on non-sealed segments");
-            };
-            let mut melted: wavelet_trie::AppendWaveletTrie = a.wt.thaw();
-            for s in b.wt.iter_seq_boxed() {
-                melted
-                    .append(s.as_bitstr())
-                    .expect("segments are jointly prefix-free");
-            }
-            melted.freeze()
-        };
-        self.segments[i] = Segment::Sealed(Box::new(SealedSegment::new(merged)));
-        self.segments.remove(i + 1);
-    }
-
     /// Melts segment `seg` back to dynamic form if it is sealed.
     fn melt(&mut self, seg: usize) {
         if let Segment::Sealed(sealed) = &self.segments[seg] {
             let hot: DynamicWaveletTrie = sealed.wt.thaw();
-            self.segments[seg] = Segment::Hot(hot);
+            self.segments[seg] = Segment::Hot(Arc::new(hot));
         }
     }
 
@@ -496,31 +558,17 @@ impl TieredStore {
 
     // --- position routing --------------------------------------------------
 
-    /// Runs `f` with the Elias–Fano directory over cumulative segment
-    /// lengths, rebuilding it if a mutation invalidated it.
-    fn with_directory<R>(&self, f: impl FnOnce(&EliasFano) -> R) -> R {
-        let mut slot = self.directory.borrow_mut();
-        let ef = slot.get_or_insert_with(|| {
-            EliasFano::prefix_sums(self.segments.iter().map(|g| g.len() as u64))
-        });
-        f(ef)
+    /// Drops the memoized position directory after a mutation.
+    pub(crate) fn invalidate_directory(&mut self) {
+        *self
+            .directory
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
     }
 
-    /// Maps a global position (`< len`) to `(segment, local offset)`.
-    fn locate(&self, pos: usize) -> (usize, usize) {
-        debug_assert!(pos < self.len);
-        self.with_directory(|dir| {
-            // Largest cumulative start <= pos; duplicates (empty segments)
-            // resolve to the last, i.e. the non-empty segment owning `pos`.
-            let seg = dir.predecessor_index(pos as u64).expect("cum[0] = 0");
-            let seg = seg.min(self.segments.len() - 1);
-            (seg, pos - dir.get(seg) as usize)
-        })
-    }
-
-    /// Like [`TieredStore::locate`] but accepts `pos == len` (append) and
-    /// redirects boundary positions to a preceding hot segment where that
-    /// avoids melting a sealed one.
+    /// Like [`SegmentedRead::locate`] but accepts `pos == len` (append)
+    /// and redirects boundary positions to a preceding hot segment where
+    /// that avoids melting a sealed one.
     fn locate_for_insert(&self, pos: usize) -> (usize, usize) {
         if pos == self.len {
             let last = self.segments.len() - 1;
@@ -534,340 +582,30 @@ impl TieredStore {
         }
         (seg, off)
     }
-
-    /// `(segment, local l, local r)` for every segment overlapping the
-    /// global range `[l, r)`.
-    fn overlaps(&self, l: usize, r: usize) -> Vec<(usize, usize, usize)> {
-        assert!(l <= r && r <= self.len, "range out of bounds");
-        let mut out = Vec::new();
-        let mut start = 0usize;
-        for (i, g) in self.segments.iter().enumerate() {
-            let end = start + g.len();
-            if end > l && start < r {
-                out.push((i, l.max(start) - start, r.min(end) - start));
-            }
-            start = end;
-            if start >= r {
-                break;
-            }
-        }
-        out
-    }
-
-    /// Merges per-segment `(string, count)` lists (each lexicographically
-    /// sorted) into one, summing counts of equal strings.
-    fn merge_counts(
-        &self,
-        l: usize,
-        r: usize,
-        per_segment: impl Fn(&dyn SeqIndex, usize, usize) -> Vec<(BitString, usize)>,
-    ) -> Vec<(BitString, usize)> {
-        let mut merged: BTreeMap<BitString, usize> = BTreeMap::new();
-        for (i, lo, hi) in self.overlaps(l, r) {
-            for (s, c) in per_segment(self.segments[i].index(), lo, hi) {
-                *merged.entry(s).or_insert(0) += c;
-            }
-        }
-        // BitString's Ord is lexicographic with prefixes first — the same
-        // order a single trie's traversal emits.
-        merged.into_iter().collect()
-    }
 }
 
-impl SeqIndex for TieredStore {
-    fn seq_len(&self) -> usize {
+impl SegmentedRead for TieredStore {
+    fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    fn total_len(&self) -> usize {
         self.len
     }
 
-    fn access(&self, pos: usize) -> BitString {
-        assert!(pos < self.len, "Access position out of bounds");
-        let (seg, off) = self.locate(pos);
-        self.segments[seg].index().access(off)
-    }
-
-    fn rank(&self, s: BitStr<'_>, pos: usize) -> usize {
-        assert!(pos <= self.len, "Rank position out of bounds");
-        let mut acc = 0usize;
-        let mut remaining = pos;
-        for g in &self.segments {
-            if remaining == 0 {
-                break;
-            }
-            let l = g.len();
-            if remaining >= l {
-                acc += g.index().count(s);
-                remaining -= l;
-            } else {
-                acc += g.index().rank(s, remaining);
-                break;
-            }
-        }
-        acc
-    }
-
-    fn select(&self, s: BitStr<'_>, idx: usize) -> Option<usize> {
-        let mut idx = idx;
-        let mut base = 0usize;
-        for g in &self.segments {
-            let c = g.index().count(s);
-            if idx < c {
-                return g.index().select(s, idx).map(|p| base + p);
-            }
-            idx -= c;
-            base += g.len();
-        }
-        None
-    }
-
-    fn rank_prefix(&self, p: BitStr<'_>, pos: usize) -> usize {
-        assert!(pos <= self.len, "RankPrefix position out of bounds");
-        let mut acc = 0usize;
-        let mut remaining = pos;
-        for g in &self.segments {
-            if remaining == 0 {
-                break;
-            }
-            let l = g.len();
-            if remaining >= l {
-                acc += g.index().count_prefix(p);
-                remaining -= l;
-            } else {
-                acc += g.index().rank_prefix(p, remaining);
-                break;
-            }
-        }
-        acc
-    }
-
-    fn select_prefix(&self, p: BitStr<'_>, idx: usize) -> Option<usize> {
-        let mut idx = idx;
-        let mut base = 0usize;
-        for g in &self.segments {
-            let c = g.index().count_prefix(p);
-            if idx < c {
-                return g.index().select_prefix(p, idx).map(|q| base + q);
-            }
-            idx -= c;
-            base += g.len();
-        }
-        None
-    }
-
-    fn admits(&self, s: BitStr<'_>) -> bool {
-        self.segments.iter().all(|g| g.admits(s))
-    }
-
-    fn distinct_len(&self) -> usize {
-        if self.len == 0 {
-            return 0;
-        }
-        self.merge_counts(0, self.len, |g, lo, hi| g.distinct_in_range(lo, hi))
-            .len()
-    }
-
-    fn height(&self) -> usize {
-        self.segments
-            .iter()
-            .map(|g| g.index().height())
-            .max()
-            .unwrap_or(0)
-    }
-
-    fn total_bitvector_bits(&self) -> usize {
-        self.segments
-            .iter()
-            .map(|g| g.index().total_bitvector_bits())
-            .sum()
-    }
-
-    fn distinct_in_range(&self, l: usize, r: usize) -> Vec<(BitString, usize)> {
-        self.merge_counts(l, r, |g, lo, hi| g.distinct_in_range(lo, hi))
-    }
-
-    fn distinct_in_range_with_prefix(
-        &self,
-        p: BitStr<'_>,
-        l: usize,
-        r: usize,
-    ) -> Vec<(BitString, usize)> {
-        self.merge_counts(l, r, |g, lo, hi| g.distinct_in_range_with_prefix(p, lo, hi))
-    }
-
-    fn distinct_prefixes_in_range(
-        &self,
-        l: usize,
-        r: usize,
-        depth: usize,
-    ) -> Vec<(BitString, usize)> {
-        self.merge_counts(l, r, |g, lo, hi| {
-            g.distinct_prefixes_in_range(lo, hi, depth)
-        })
-    }
-
-    fn range_majority(&self, l: usize, r: usize) -> Option<(BitString, usize)> {
-        assert!(l <= r && r <= self.len, "range out of bounds");
-        if l == r {
-            return None;
-        }
-        // Pigeonhole: a global majority of [l, r) must be a majority of at
-        // least one overlapped part, so per-part majorities are the only
-        // candidates; verify each against the merged count.
-        let total = r - l;
-        for (i, lo, hi) in self.overlaps(l, r) {
-            if let Some((cand, _)) = self.segments[i].index().range_majority(lo, hi) {
-                let c = self.range_count(cand.as_bitstr(), l, r);
-                if 2 * c > total {
-                    return Some((cand, c));
-                }
-            }
-        }
-        None
-    }
-
-    fn range_frequent(&self, l: usize, r: usize, min_count: usize) -> Vec<(BitString, usize)> {
-        assert!(l <= r && r <= self.len, "range out of bounds");
-        let min_count = min_count.max(1);
-        if r - l < min_count {
-            return Vec::new();
-        }
-        // A string can clear the threshold globally while staying below it
-        // in every segment, so enumerate distinct values and filter.
-        self.merge_counts(l, r, |g, lo, hi| g.distinct_in_range(lo, hi))
-            .into_iter()
-            .filter(|&(_, c)| c >= min_count)
-            .collect()
-    }
-
-    fn iter_range_boxed(&self, l: usize, r: usize) -> Box<dyn Iterator<Item = BitString> + '_> {
-        let parts = self.overlaps(l, r);
-        Box::new(
-            parts
-                .into_iter()
-                .flat_map(move |(i, lo, hi)| self.segments[i].index().iter_range_boxed(lo, hi)),
-        )
-    }
-
-    // --- batched queries ---------------------------------------------------
-    //
-    // The store routes a batch through the Elias–Fano segment directory
-    // once and dispatches one sub-batch per segment, so static segments get
-    // their software-pipelined group descent over every lane that lands in
-    // them instead of per-lane dispatch.
-
-    fn access_batch(&self, positions: &[usize]) -> Vec<BitString> {
-        for &p in positions {
-            assert!(p < self.len, "Access position out of bounds");
-        }
-        let mut out: Vec<BitString> = vec![BitString::new(); positions.len()];
-        if positions.is_empty() {
-            return out;
-        }
-        let routed: Vec<(usize, usize)> = self.with_directory(|dir| {
-            positions
-                .iter()
-                .map(|&p| {
-                    let seg = dir
-                        .predecessor_index(p as u64)
-                        .expect("cum[0] = 0")
-                        .min(self.segments.len() - 1);
-                    (seg, p - dir.get(seg) as usize)
-                })
-                .collect()
+    fn with_directory<R>(&self, f: impl FnOnce(&EliasFano) -> R) -> R {
+        let mut slot = self
+            .directory
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let ef = slot.get_or_insert_with(|| {
+            EliasFano::prefix_sums(self.segments.iter().map(|g| g.len() as u64))
         });
-        let mut by_seg: Vec<Vec<u32>> = vec![Vec::new(); self.segments.len()];
-        for (lane, &(seg, _)) in routed.iter().enumerate() {
-            by_seg[seg].push(lane as u32);
-        }
-        for (si, lanes) in by_seg.iter().enumerate() {
-            if lanes.is_empty() {
-                continue;
-            }
-            let locals: Vec<usize> = lanes.iter().map(|&l| routed[l as usize].1).collect();
-            let res = self.segments[si].index().access_batch(&locals);
-            for (r, &l) in res.into_iter().zip(lanes) {
-                out[l as usize] = r;
-            }
-        }
-        out
-    }
-
-    fn rank_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<usize> {
-        for &(_, pos) in queries {
-            assert!(pos <= self.len, "Rank position out of bounds");
-        }
-        let mut acc = vec![0usize; queries.len()];
-        let mut start = 0usize;
-        let mut sub: Vec<(BitStr<'_>, usize)> = Vec::new();
-        let mut lanes: Vec<u32> = Vec::new();
-        for g in &self.segments {
-            let l = g.len();
-            sub.clear();
-            lanes.clear();
-            for (k, &(s, pos)) in queries.iter().enumerate() {
-                if pos > start {
-                    sub.push((s, (pos - start).min(l)));
-                    lanes.push(k as u32);
-                }
-            }
-            if sub.is_empty() {
-                break; // positions are exhausted for every lane
-            }
-            for (r, &k) in g.index().rank_batch(&sub).into_iter().zip(&lanes) {
-                acc[k as usize] += r;
-            }
-            start += l;
-        }
-        acc
-    }
-
-    fn select_batch(&self, queries: &[(BitStr<'_>, usize)]) -> Vec<Option<usize>> {
-        let mut res = vec![None; queries.len()];
-        let mut remaining: Vec<usize> = queries.iter().map(|&(_, idx)| idx).collect();
-        let mut unresolved: Vec<u32> = (0..queries.len() as u32).collect();
-        let mut base = 0usize;
-        for g in &self.segments {
-            if unresolved.is_empty() {
-                break;
-            }
-            // Occurrences of each unresolved lane's string in this segment.
-            let sub: Vec<(BitStr<'_>, usize)> = unresolved
-                .iter()
-                .map(|&k| (queries[k as usize].0, g.len()))
-                .collect();
-            let counts = g.index().rank_batch(&sub);
-            let mut here: Vec<u32> = Vec::new();
-            let mut here_q: Vec<(BitStr<'_>, usize)> = Vec::new();
-            let mut keep: Vec<u32> = Vec::new();
-            for (j, &k) in unresolved.iter().enumerate() {
-                if remaining[k as usize] < counts[j] {
-                    here.push(k);
-                    here_q.push((queries[k as usize].0, remaining[k as usize]));
-                } else {
-                    remaining[k as usize] -= counts[j];
-                    keep.push(k);
-                }
-            }
-            if !here_q.is_empty() {
-                for (r, &k) in g.index().select_batch(&here_q).into_iter().zip(&here) {
-                    res[k as usize] = r.map(|p| base + p);
-                }
-            }
-            unresolved = keep;
-            base += g.len();
-        }
-        res
-    }
-
-    fn count_prefix_batch(&self, prefixes: &[BitStr<'_>]) -> Vec<usize> {
-        let mut acc = vec![0usize; prefixes.len()];
-        for g in &self.segments {
-            for (a, c) in acc.iter_mut().zip(g.index().count_prefix_batch(prefixes)) {
-                *a += c;
-            }
-        }
-        acc
+        f(ef)
     }
 }
+
+impl_seq_index_for_segmented!(TieredStore);
 
 impl SpaceUsage for TieredStore {
     fn size_bits(&self) -> usize {
@@ -881,7 +619,8 @@ impl SpaceUsage for TieredStore {
             .sum();
         let dir = self
             .directory
-            .borrow()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
             .map_or(0, |ef| ef.size_bits());
         segs + dir + 4 * 64
@@ -1128,5 +867,85 @@ mod tests {
             assert_eq!(idx.count(encode(1).as_bitstr()), 4);
             assert_eq!(idx.distinct_len(), 6);
         }
+    }
+
+    #[test]
+    fn snapshots_are_frozen_across_every_mutation_kind() {
+        let mut st = tiny();
+        for i in 0..20u64 {
+            st.append(encode(i).as_bitstr()).unwrap();
+        }
+        let reader = st.reader();
+        let snap = st.publish();
+        assert_eq!(snap.version(), 1);
+        let frozen: Vec<BitString> = snap.iter_seq_boxed().collect();
+        assert_eq!(frozen.len(), 20);
+        // Every mutation kind: append, middle insert (melts), delete,
+        // seal, compact — the snapshot must not move.
+        st.append(encode(90).as_bitstr()).unwrap();
+        st.insert(encode(91).as_bitstr(), 3).unwrap();
+        st.delete(0);
+        st.seal();
+        st.compact();
+        assert_eq!(snap.len(), 20);
+        let after: Vec<BitString> = snap.iter_seq_boxed().collect();
+        assert_eq!(frozen, after, "published epoch must stay bit-identical");
+        assert_eq!(snap.count(encode(90).as_bitstr()), 0, "no write leakage");
+        // The reader still serves version 1 until the writer re-publishes.
+        assert_eq!(reader.snapshot().version(), 1);
+        let snap2 = st.publish();
+        assert_eq!(snap2.version(), 2);
+        assert_eq!(reader.snapshot().version(), 2);
+        assert_eq!(snap2.count(encode(90).as_bitstr()), 1);
+        // And the old snapshot still hasn't moved.
+        assert_eq!(snap.iter_seq_boxed().collect::<Vec<_>>(), frozen);
+    }
+
+    #[test]
+    fn snapshot_queries_match_live_store() {
+        let mut st = tiny();
+        for i in 0..60u64 {
+            st.append(encode(i % 17).as_bitstr()).unwrap();
+        }
+        st.insert(encode(40).as_bitstr(), 5).unwrap(); // melt a middle
+        let snap = st.publish();
+        assert_eq!(snap.num_segments(), st.num_segments());
+        assert_eq!(snap.sealed_segments(), st.sealed_segments());
+        for i in 0..st.len() {
+            assert_eq!(snap.access(i), st.access(i), "access({i})");
+        }
+        for v in 0..18u64 {
+            let s = encode(v);
+            assert_eq!(snap.count(s.as_bitstr()), st.count(s.as_bitstr()));
+            assert_eq!(snap.select(s.as_bitstr(), 1), st.select(s.as_bitstr(), 1));
+        }
+        assert_eq!(snap.distinct_len(), st.distinct_len());
+        let positions: Vec<usize> = (0..st.len()).collect();
+        assert_eq!(snap.access_batch(&positions), st.access_batch(&positions));
+    }
+
+    #[test]
+    fn reader_serves_from_other_threads() {
+        let mut st = tiny();
+        for i in 0..30u64 {
+            st.append(encode(i % 7).as_bitstr()).unwrap();
+        }
+        st.publish();
+        let reader = st.reader();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let r = reader.clone();
+                    scope.spawn(move || {
+                        let snap = r.snapshot();
+                        (0..snap.len()).map(|i| snap.access(i)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let expect: Vec<BitString> = (0..30u64).map(|i| encode(i % 7)).collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), expect);
+            }
+        });
     }
 }

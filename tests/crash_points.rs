@@ -91,7 +91,7 @@ fn save_crash_at_every_op_recovers_old_or_new() {
                 fail_from: Some(k),
                 torn_writes: true,
                 seed: 0xDEAD ^ k,
-                transient: Vec::new(),
+                ..FaultPlan::default()
             },
         );
         let save = new.save_dir_with(&faulty, dir);
@@ -153,7 +153,7 @@ fn recovery_after_crash_is_idempotent_at_every_point() {
                 fail_from: Some(k),
                 torn_writes: true,
                 seed: k,
-                transient: Vec::new(),
+                ..FaultPlan::default()
             },
         );
         let _ = new.save_dir_with(&faulty, dir);
@@ -175,7 +175,7 @@ fn recovery_after_crash_is_idempotent_at_every_point() {
                     fail_from: Some(j),
                     torn_writes: true,
                     seed: j ^ 0x55,
-                    transient: Vec::new(),
+                    ..FaultPlan::default()
                 },
             );
             let _ = first.save_dir_with(&faulty2, dir);
@@ -203,10 +203,8 @@ fn transient_faults_are_retried_to_success() {
     let flaky = FaultStorage::new(
         &fs,
         FaultPlan {
-            fail_from: None,
-            torn_writes: false,
-            seed: 0,
             transient: vec![2, 5, 9],
+            ..FaultPlan::default()
         },
     );
     let retrying = wt_bits::RetryingStorage::new(&flaky, wt_bits::RetryPolicy::default());
@@ -219,10 +217,8 @@ fn transient_faults_are_retried_to_success() {
     let flaky2 = FaultStorage::new(
         &fs2,
         FaultPlan {
-            fail_from: None,
-            torn_writes: false,
-            seed: 0,
             transient: vec![2],
+            ..FaultPlan::default()
         },
     );
     let err = st.save_dir_with(&flaky2, dir).expect_err("no retry layer");

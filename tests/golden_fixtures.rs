@@ -275,7 +275,7 @@ fn write_torn_fixture(dir: &Path) {
             fail_from: Some(2),
             torn_writes: true,
             seed: 0x70_12_5A_FE,
-            transient: Vec::new(),
+            ..FaultPlan::default()
         },
     );
     let err = fixture_store_next()

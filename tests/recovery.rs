@@ -177,9 +177,7 @@ fn corrupt_manifest_falls_back_one_generation() {
             &fs,
             FaultPlan {
                 fail_from: Some(k),
-                torn_writes: false,
-                seed: 0,
-                transient: Vec::new(),
+                ..FaultPlan::default()
             },
         );
         let _ = new.save_dir_with(&faulty, dir);
