@@ -8,7 +8,8 @@
 
 use wavelet_trie::binarize::{Coder, NinthBitCoder};
 use wavelet_trie::{
-    AppendWaveletTrie, BitString, DynamicWaveletTrie, SeqIndex, SequenceStats, WaveletTrie,
+    AppendWaveletTrie, BitString, DynamicWaveletTrie, PathDecompTrie, SeqIndex, SequenceStats,
+    WaveletTrie,
 };
 use wt_baselines::{BTreeIndex, DictSequence, NaiveSeq};
 use wt_bench::{bits_per, Table};
@@ -28,6 +29,8 @@ fn report(name: &str, data: Vec<String>) {
 
     let wt = WaveletTrie::build(&seq).unwrap();
     let sp = wt.space_breakdown();
+    let pd = PathDecompTrie::from_static(&wt);
+    let psp = pd.space_breakdown();
 
     let mut app = AppendWaveletTrie::new();
     let mut dy = DynamicWaveletTrie::new();
@@ -67,6 +70,13 @@ fn report(name: &str, data: Vec<String>) {
         &bits_per(sp.total_bits, n),
         &xlb(sp.total_bits),
         "LB + o(h̃n)  (Thm 3.7)",
+    ]);
+    t.row(&[
+        "path-decomp WT",
+        &psp.total_bits.to_string(),
+        &bits_per(psp.total_bits, n),
+        &xlb(psp.total_bits),
+        "same trie, centroid paths (§3)",
     ]);
     t.row(&[
         "append-only WT",
@@ -112,6 +122,15 @@ fn report(name: &str, data: Vec<String>) {
         sp.bv_bits,
         sp.bv_delim_bits,
         sp.flags_bits
+    );
+    println!(
+        "   path-decomp breakdown: skeleton={} labels={} (+delim {}) dirs={} bitvectors={} (+delim {})",
+        psp.skeleton_bits,
+        psp.label_bits,
+        psp.label_delim_bits,
+        psp.dir_bits,
+        psp.bv_bits,
+        psp.bv_delim_bits
     );
 }
 

@@ -58,6 +58,8 @@ pub mod kind {
     pub const MANIFEST: u32 = 9;
     /// Hot-segment string log (re-appended on load).
     pub const HOT_LOG: u32 = 10;
+    /// Path-decomposed static trie (also a sealed `TieredStore` segment).
+    pub const PATH_DECOMP: u32 = 11;
 }
 
 /// Why a load was rejected. Corrupt or truncated input must surface as one

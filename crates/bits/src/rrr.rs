@@ -344,6 +344,30 @@ impl RrrVector {
         self.classes.prefetch(class_bit + 64);
     }
 
+    /// Resolves the block directory for bit `i` and prefetches its offset
+    /// word plus `spread` lines on either side — the line set a later
+    /// `rank1`/`get` near `i` touches.
+    ///
+    /// Unlike [`RrrVector::prefetch`] this *reads* the superblock and class
+    /// words now (stalling if they are cold), so it pays off when those
+    /// lines were hinted a round earlier and the probe position is known —
+    /// or estimated to within `spread` lines of offset stream — ahead of a
+    /// dependent chain.
+    #[inline]
+    pub fn prefetch_deep(&self, i: usize, spread: usize) {
+        if i >= self.len {
+            return;
+        }
+        let (_, ptr, c) = self.locate_block(i / RRR_BLOCK_BITS);
+        if OFFSET_WIDTH[c as usize] > 0 {
+            self.offsets.prefetch(ptr);
+        }
+        for k in 1..=spread {
+            self.offsets.prefetch(ptr + k * 512);
+            self.offsets.prefetch(ptr.saturating_sub(k * 512));
+        }
+    }
+
     /// Fused `get(i)` / `rank1(i)`: one block locate and one partial decode
     /// answer both — the access hot path of a Wavelet Trie descent, which
     /// always needs `β[i]` and the rank of that bit together.

@@ -108,6 +108,53 @@ pub trait TrieNav {
     {
         prefixes.iter().map(|&p| count_prefix(self, p)).collect()
     }
+
+    // --- scalar queries ----------------------------------------------------
+    //
+    // Hooks behind the scalar `SeqIndex` surface. The defaults run the
+    // generic descent; backends with a cheaper specialized walk (the
+    // path-decomposed trie's cursor descent) override them. Every override
+    // must answer bit-identically to the generic algorithms.
+
+    /// Scalar `Access(pos)`.
+    fn nav_access(&self, pos: usize) -> BitString
+    where
+        Self: Sized,
+    {
+        access(self, pos)
+    }
+
+    /// Scalar `Rank(s, pos)`.
+    fn nav_rank(&self, s: BitStr<'_>, pos: usize) -> usize
+    where
+        Self: Sized,
+    {
+        rank(self, s, pos)
+    }
+
+    /// Scalar `Select(s, idx)`.
+    fn nav_select(&self, s: BitStr<'_>, idx: usize) -> Option<usize>
+    where
+        Self: Sized,
+    {
+        select(self, s, idx)
+    }
+
+    /// Scalar `Count(s)`.
+    fn nav_count(&self, s: BitStr<'_>) -> usize
+    where
+        Self: Sized,
+    {
+        count(self, s)
+    }
+
+    /// Scalar `CountPrefix(p)`.
+    fn nav_count_prefix(&self, p: BitStr<'_>) -> usize
+    where
+        Self: Sized,
+    {
+        count_prefix(self, p)
+    }
 }
 
 /// Entries a descent path keeps on the stack before spilling to the heap.

@@ -175,15 +175,15 @@ impl<T: TrieNav> SeqIndex for T {
     }
 
     fn access(&self, pos: usize) -> BitString {
-        nav::access(self, pos)
+        self.nav_access(pos)
     }
 
     fn rank(&self, s: BitStr<'_>, pos: usize) -> usize {
-        nav::rank(self, s, pos)
+        self.nav_rank(s, pos)
     }
 
     fn select(&self, s: BitStr<'_>, idx: usize) -> Option<usize> {
-        nav::select(self, s, idx)
+        self.nav_select(s, idx)
     }
 
     fn rank_prefix(&self, p: BitStr<'_>, pos: usize) -> usize {
@@ -195,11 +195,11 @@ impl<T: TrieNav> SeqIndex for T {
     }
 
     fn count(&self, s: BitStr<'_>) -> usize {
-        nav::count(self, s)
+        self.nav_count(s)
     }
 
     fn count_prefix(&self, p: BitStr<'_>) -> usize {
-        nav::count_prefix(self, p)
+        self.nav_count_prefix(p)
     }
 
     fn admits(&self, s: BitStr<'_>) -> bool {

@@ -1,0 +1,606 @@
+//! Software-pipelined batched queries for the path-decomposed static trie.
+//!
+//! Same node-grouped lockstep discipline as [`crate::batch`] (the wavelet
+//! trie's kernels): lanes stay in node-group order, each group's children
+//! are emitted as two consecutive runs, and the per-level bitvector probes
+//! of *all* surviving lanes go through one batched RRR round
+//! (`get_rank1_batch` / `rank1_batch`) so the miss chains overlap.
+//!
+//! The path decomposition makes the per-level bookkeeping cheaper than the
+//! wavelet trie's: a [`PdNode`] handle already carries its label bounds and
+//! bitvector segment, so there is no stage-A metadata resolve at all —
+//! heavy-child transitions are consecutive directory reads and only light
+//! transitions (≤ log n per lane in total) touch the skeleton. The upward
+//! select mapping needs *zero* directory rounds: each recorded ancestor
+//! handle has its segment resolved.
+//!
+//! Every function is bit-identical to its scalar counterpart in
+//! [`crate::nav`]; `tests/pd_model.rs` pins that against the wavelet trie.
+
+use crate::nav::TrieNav;
+use crate::pd::{PathDecompTrie, PdNode};
+use wt_bits::BitSelect;
+use wt_trie::{BitStr, BitString};
+
+/// Sentinel for "no parent" in the descent-link arena.
+const NO_LINK: u32 = u32::MAX;
+
+/// Below this many lanes the grouped pipeline's bookkeeping outweighs the
+/// overlap it buys; such batches take the scalar loop instead.
+const MIN_BATCH: usize = 8;
+
+/// The grouped pipeline earns its bookkeeping by *deduplicating* shared
+/// descents: lanes whose queries walk the same centroid path ride one
+/// group. On a low-sharing trie — path count within a small factor of the
+/// sequence length, i.e. near-distinct keys — there is nothing to dedup,
+/// and the specialized scalar walkers (exact next-probe prefetch, seat
+/// cursors) beat lockstep grouping outright. Measured on the E16
+/// workloads: grouped leads on the Zipf url trie, trails the scalar loop
+/// on the 12M near-distinct ints trie.
+fn low_sharing(pd: &PathDecompTrie) -> bool {
+    pd.n_paths().saturating_mul(4) > pd.len()
+}
+
+/// Emits a freshly created child group: registers it for the next level
+/// and hints its label words (and, for internal nodes, the head of its
+/// bitvector segment) into cache before any lane touches them.
+#[inline]
+fn push_child(pd: &PathDecompTrie, groups: &mut Vec<(PdNode, u32)>, child: PdNode, run_len: usize) {
+    pd.labels.prefetch(child.lab_start as usize);
+    if child.j < child.k {
+        pd.bvs.prefetch(child.seg_start as usize);
+    }
+    groups.push((child, run_len as u32));
+}
+
+/// Batched `Access` — see the module docs for the pipeline.
+pub(crate) fn access_batch(pd: &PathDecompTrie, positions: &[usize]) -> Vec<BitString> {
+    if positions.len() < MIN_BATCH || low_sharing(pd) {
+        return positions
+            .iter()
+            .map(|&p| crate::pd_scalar::access(pd, p))
+            .collect();
+    }
+    for &p in positions {
+        assert!(p < pd.len(), "Access position out of bounds");
+    }
+    let m0 = positions.len();
+    let mut out: Vec<BitString> = std::iter::repeat_with(BitString::new).take(m0).collect();
+    let root = pd.nav_root().expect("nonempty");
+    let mut lane: Vec<u32> = (0..m0 as u32).collect();
+    let mut pos: Vec<usize> = positions.to_vec();
+    let mut groups: Vec<(PdNode, u32)> = vec![(root, m0 as u32)];
+    let mut groups2: Vec<(PdNode, u32)> = Vec::new();
+    let mut s_lane: Vec<u32> = Vec::with_capacity(m0);
+    let mut s_gi: Vec<u32> = Vec::with_capacity(m0);
+    let mut gidx: Vec<usize> = Vec::with_capacity(m0);
+    let mut gr: Vec<(bool, usize)> = Vec::with_capacity(m0);
+    while !groups.is_empty() {
+        // Per lane: emit the group label; leaves finish here. Survivors
+        // register their global bitvector target.
+        s_lane.clear();
+        s_gi.clear();
+        gidx.clear();
+        let mut cur = 0usize;
+        for (gi, &(v, len)) in groups.iter().enumerate() {
+            let label = pd.label_view(&v);
+            let leaf = pd.nav_is_leaf(v);
+            for k in cur..cur + len as usize {
+                out[lane[k] as usize].push_str(label);
+                if !leaf {
+                    s_lane.push(lane[k]);
+                    s_gi.push(gi as u32);
+                    gidx.push(v.seg_start as usize + pos[k]);
+                }
+            }
+            cur += len as usize;
+        }
+        if s_lane.is_empty() {
+            break;
+        }
+        // Fused get+rank across all surviving lanes in one batched RRR
+        // round (its own three-phase pipeline inside).
+        gr.clear();
+        gr.resize(s_lane.len(), (false, 0));
+        pd.bvs.get_rank1_batch(&gidx, &mut gr);
+        // Partition each group into its child runs (child 0 first).
+        groups2.clear();
+        lane.clear();
+        pos.clear();
+        let mut a = 0usize;
+        while a < s_gi.len() {
+            let gi = s_gi[a] as usize;
+            let mut b = a + 1;
+            while b < s_gi.len() && s_gi[b] as usize == gi {
+                b += 1;
+            }
+            let (v, _) = groups[gi];
+            let (s, ones) = (v.seg_start as usize, v.ones_before as usize);
+            for want in [false, true] {
+                let start = lane.len();
+                for k in a..b {
+                    let (bit, r1) = gr[k];
+                    if bit == want {
+                        out[s_lane[k] as usize].push(bit);
+                        lane.push(s_lane[k]);
+                        pos.push(if bit {
+                            r1 - ones
+                        } else {
+                            (gidx[k] - r1) - (s - ones)
+                        });
+                    }
+                }
+                if lane.len() > start {
+                    push_child(pd, &mut groups2, pd.nav_child(v, want), lane.len() - start);
+                }
+            }
+            a = b;
+        }
+        std::mem::swap(&mut groups, &mut groups2);
+    }
+    out
+}
+
+/// Result of a grouped descent: per-lane outcome plus the shared
+/// (ancestor, branch-bit) trails in a link arena.
+struct Descent {
+    /// Per lane: `(node, link)` when the descent found a match.
+    found: Vec<Option<(PdNode, u32)>>,
+    /// Link arena: `(parent link, ancestor node, branch bit)`.
+    links: Vec<(u32, PdNode, bool)>,
+}
+
+impl Descent {
+    /// Materializes the root-to-node trail behind `link`.
+    fn path_of(&self, mut link: u32, out: &mut Vec<(PdNode, bool)>) {
+        out.clear();
+        while link != NO_LINK {
+            let (p, v, b) = self.links[link as usize];
+            out.push((v, b));
+            link = p;
+        }
+        out.reverse();
+    }
+}
+
+/// Shared grouped descent, exact (`prefix = false`) or prefix
+/// (`prefix = true`) — the path-decomposed counterpart of
+/// `crate::batch::descend_batch`. Lanes with equal query strings stay in
+/// one group for the whole walk.
+fn descend_batch(pd: &PathDecompTrie, queries: &[BitStr<'_>], prefix: bool) -> Descent {
+    let m0 = queries.len();
+    let mut desc = Descent {
+        found: (0..m0).map(|_| None).collect(),
+        links: Vec::new(),
+    };
+    if m0 == 0 {
+        return desc;
+    }
+    let Some(root) = pd.nav_root() else {
+        return desc;
+    };
+    let mut lane: Vec<u32> = (0..m0 as u32).collect();
+    // (node, run len, delta, link): delta is the consumed-bit count.
+    let mut groups: Vec<(PdNode, u32, usize, u32)> = vec![(root, m0 as u32, 0, NO_LINK)];
+    let mut groups2: Vec<(PdNode, u32, usize, u32)> = Vec::new();
+    let mut lane2: Vec<u32> = Vec::with_capacity(m0);
+    let mut branch: Vec<u8> = Vec::with_capacity(m0); // 0, 1, 2 = lane done
+    while !groups.is_empty() {
+        groups2.clear();
+        lane2.clear();
+        let mut cur = 0usize;
+        for &(v, len, delta, link) in groups.iter() {
+            let label = pd.label_view(&v);
+            let leaf = pd.nav_is_leaf(v);
+            let run = cur..cur + len as usize;
+            cur = run.end;
+            branch.clear();
+            for k in run.clone() {
+                let l_id = lane[k] as usize;
+                let s = queries[l_id];
+                let rest = s.suffix(delta);
+                let lcp = label.lcp(&rest);
+                if prefix && delta + lcp == s.len() {
+                    desc.found[l_id] = Some((v, link));
+                    branch.push(2);
+                    continue;
+                }
+                if lcp < label.len() {
+                    branch.push(2); // mismatch inside the label: absent
+                    continue;
+                }
+                let d = delta + lcp;
+                if leaf {
+                    if !prefix && d == s.len() {
+                        desc.found[l_id] = Some((v, link));
+                    }
+                    branch.push(2);
+                    continue;
+                }
+                if d == s.len() {
+                    branch.push(2); // proper prefix of everything below
+                    continue;
+                }
+                branch.push(s.get(d) as u8);
+            }
+            if leaf {
+                continue;
+            }
+            let child_delta = delta + label.len() + 1;
+            for want in [0u8, 1u8] {
+                let start = lane2.len();
+                for (k, &b) in run.clone().zip(&branch) {
+                    if b == want {
+                        lane2.push(lane[k]);
+                    }
+                }
+                if lane2.len() > start {
+                    let bit = want == 1;
+                    let child = pd.nav_child(v, bit);
+                    pd.labels.prefetch(child.lab_start as usize);
+                    desc.links.push((link, v, bit));
+                    groups2.push((
+                        child,
+                        (lane2.len() - start) as u32,
+                        child_delta,
+                        (desc.links.len() - 1) as u32,
+                    ));
+                }
+            }
+        }
+        std::mem::swap(&mut groups, &mut groups2);
+        std::mem::swap(&mut lane, &mut lane2);
+    }
+    desc
+}
+
+/// The distinct `(node, link)` outcomes of a descent with the lanes that
+/// reached each, so identical queries pay once downstream.
+struct FoundGroups {
+    node: Vec<PdNode>,
+    /// Materialized root-to-node trail per outcome.
+    paths: Vec<Vec<(PdNode, bool)>>,
+    /// Lanes per outcome.
+    lanes: Vec<Vec<u32>>,
+}
+
+fn found_groups(pd: &PathDecompTrie, desc: &Descent) -> FoundGroups {
+    let mut fg = FoundGroups {
+        node: Vec::new(),
+        paths: Vec::new(),
+        lanes: Vec::new(),
+    };
+    let mut by_key: std::collections::HashMap<(usize, u32), usize> =
+        std::collections::HashMap::new();
+    for (l, f) in desc.found.iter().enumerate() {
+        let Some((node, link)) = *f else { continue };
+        let idx = *by_key.entry((pd.nav_key(node), link)).or_insert_with(|| {
+            fg.node.push(node);
+            let mut p = Vec::new();
+            desc.path_of(link, &mut p);
+            fg.paths.push(p);
+            fg.lanes.push(Vec::new());
+            fg.node.len() - 1
+        });
+        fg.lanes[idx].push(l as u32);
+    }
+    fg
+}
+
+/// Sequence positions in each found group's subtree — resolved from the
+/// handles and the ones directory, no bitvector scans.
+fn subtree_counts(pd: &PathDecompTrie, fg: &FoundGroups) -> Vec<usize> {
+    fg.node
+        .iter()
+        .zip(&fg.paths)
+        .map(|(v, path)| {
+            if !pd.nav_is_leaf(*v) {
+                v.seg_len as usize
+            } else {
+                match path.last() {
+                    Some(&(parent, b)) => {
+                        let ones = pd.seg_ones(&parent);
+                        if b {
+                            ones
+                        } else {
+                            parent.seg_len as usize - ones
+                        }
+                    }
+                    None => pd.len(), // root leaf: the whole sequence
+                }
+            }
+        })
+        .collect()
+}
+
+/// Batched `Rank(s, pos)` — the fused grouped walk of
+/// `crate::batch::rank_batch`: each lane's position maps down in the same
+/// round that consumes its query bits.
+pub(crate) fn rank_batch(pd: &PathDecompTrie, queries: &[(BitStr<'_>, usize)]) -> Vec<usize> {
+    if queries.len() < MIN_BATCH || low_sharing(pd) {
+        return queries
+            .iter()
+            .map(|&(s, pos)| crate::pd_scalar::rank(pd, s, pos))
+            .collect();
+    }
+    for &(_, pos) in queries {
+        assert!(pos <= pd.len(), "Rank position out of bounds");
+    }
+    let m0 = queries.len();
+    let mut res = vec![0usize; m0];
+    let Some(root) = pd.nav_root() else {
+        return res;
+    };
+    let mut lane: Vec<u32> = (0..m0 as u32).collect();
+    let mut p: Vec<usize> = queries.iter().map(|&(_, pos)| pos).collect();
+    let mut groups: Vec<(PdNode, u32, usize)> = vec![(root, m0 as u32, 0)];
+    let mut groups2: Vec<(PdNode, u32, usize)> = Vec::new();
+    let mut lane2: Vec<u32> = Vec::with_capacity(m0);
+    let mut p2: Vec<usize> = Vec::with_capacity(m0);
+    let mut branch: Vec<u8> = Vec::with_capacity(m0); // 0, 1, 2 = lane done
+    let mut gidx: Vec<usize> = Vec::with_capacity(m0);
+    let mut r1s: Vec<usize> = Vec::with_capacity(m0);
+    while !groups.is_empty() {
+        // Pass 1: consume this level's label per lane; survivors register
+        // their bitvector target for the batched rank round.
+        branch.clear();
+        gidx.clear();
+        let mut cur = 0usize;
+        for &(v, len, delta) in groups.iter() {
+            let label = pd.label_view(&v);
+            let leaf = pd.nav_is_leaf(v);
+            for k in cur..cur + len as usize {
+                let l_id = lane[k] as usize;
+                let q = queries[l_id].0;
+                let rest = q.suffix(delta);
+                let lcp = label.lcp(&rest);
+                if lcp < label.len() {
+                    branch.push(2); // mismatch inside the label: absent (0)
+                    continue;
+                }
+                let d = delta + lcp;
+                if leaf {
+                    if d == q.len() {
+                        res[l_id] = p[k]; // found: fully mapped position
+                    }
+                    branch.push(2);
+                    continue;
+                }
+                if d == q.len() {
+                    branch.push(2); // proper prefix of everything below
+                    continue;
+                }
+                branch.push(q.get(d) as u8);
+                gidx.push(v.seg_start as usize + p[k]);
+            }
+            cur += len as usize;
+        }
+        if gidx.is_empty() {
+            break;
+        }
+        r1s.clear();
+        r1s.resize(gidx.len(), 0);
+        pd.bvs.rank1_batch(&gidx, &mut r1s);
+        // Pass 2: map positions down and split each group into child runs.
+        groups2.clear();
+        lane2.clear();
+        p2.clear();
+        let mut cur = 0usize;
+        let mut at = 0usize; // cursor into gidx/r1s (survivors only)
+        for &(v, len, delta) in groups.iter() {
+            let run = cur..cur + len as usize;
+            cur = run.end;
+            if pd.nav_is_leaf(v) {
+                continue; // no survivors registered targets here
+            }
+            let (s, ones) = (v.seg_start as usize, v.ones_before as usize);
+            let child_delta = delta + v.lab_len as usize + 1;
+            let run_at = at;
+            for want in [0u8, 1u8] {
+                let start = lane2.len();
+                let mut a = run_at;
+                for k in run.clone() {
+                    let b = branch[k];
+                    if b == 2 {
+                        continue;
+                    }
+                    let (gx, r1) = (gidx[a], r1s[a]);
+                    a += 1;
+                    if b == want {
+                        lane2.push(lane[k]);
+                        p2.push(if b == 1 {
+                            r1 - ones
+                        } else {
+                            (gx - r1) - (s - ones)
+                        });
+                    }
+                }
+                at = a;
+                if lane2.len() > start {
+                    let child = pd.nav_child(v, want == 1);
+                    pd.labels.prefetch(child.lab_start as usize);
+                    if child.j < child.k {
+                        pd.bvs.prefetch(child.seg_start as usize);
+                    }
+                    groups2.push((child, (lane2.len() - start) as u32, child_delta));
+                }
+            }
+        }
+        std::mem::swap(&mut groups, &mut groups2);
+        std::mem::swap(&mut lane, &mut lane2);
+        std::mem::swap(&mut p, &mut p2);
+    }
+    res
+}
+
+/// Batched `Select(s, idx)` — grouped descent, then lockstep upward
+/// mapping. Unlike the wavelet trie's kernel, the upward rounds need no
+/// directory probes: every recorded ancestor handle carries its segment.
+pub(crate) fn select_batch(
+    pd: &PathDecompTrie,
+    queries: &[(BitStr<'_>, usize)],
+) -> Vec<Option<usize>> {
+    if queries.len() < MIN_BATCH || low_sharing(pd) {
+        return queries
+            .iter()
+            .map(|&(s, idx)| crate::pd_scalar::select(pd, s, idx))
+            .collect();
+    }
+    let strings: Vec<BitStr<'_>> = queries.iter().map(|&(s, _)| s).collect();
+    let desc = descend_batch(pd, &strings, false);
+    let fg = found_groups(pd, &desc);
+    let counts = subtree_counts(pd, &fg);
+    let mut res: Vec<Option<usize>> = vec![None; queries.len()];
+    // Per-lane occurrence index, bound-checked against the group count.
+    let mut iv: Vec<usize> = vec![0; queries.len()];
+    let mut in_range: Vec<Vec<u32>> = Vec::with_capacity(fg.node.len());
+    for (g, lanes) in fg.lanes.iter().enumerate() {
+        let mut keep = Vec::new();
+        for &l in lanes {
+            let idx = queries[l as usize].1;
+            if idx < counts[g] {
+                iv[l as usize] = idx;
+                keep.push(l);
+            }
+        }
+        in_range.push(keep);
+    }
+    let mut act: Vec<u32> = (0..fg.node.len() as u32)
+        .filter(|&g| !in_range[g as usize].is_empty())
+        .collect();
+    let mut round = 0usize;
+    while !act.is_empty() {
+        act.retain(|&g| {
+            let g = g as usize;
+            if fg.paths[g].len() <= round {
+                for &l in &in_range[g] {
+                    res[l as usize] = Some(iv[l as usize]);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if act.is_empty() {
+            break;
+        }
+        // Entry `depth - 1 - round` of each group: leaf-to-root order.
+        for &g in &act {
+            let path = &fg.paths[g as usize];
+            let (v, _) = path[path.len() - 1 - round];
+            pd.bvs.prefetch(v.seg_start as usize);
+        }
+        for &g in &act {
+            let g = g as usize;
+            let path = &fg.paths[g];
+            let (v, bit) = path[path.len() - 1 - round];
+            let (s, ones) = (v.seg_start as usize, v.ones_before as usize);
+            let e = s + v.seg_len as usize;
+            let before = if bit { ones } else { s - ones };
+            for &l in &in_range[g] {
+                let l = l as usize;
+                match pd.bvs.select(bit, before + iv[l]) {
+                    Some(pp) if pp < e => iv[l] = pp - s,
+                    _ => iv[l] = usize::MAX, // no such occurrence: dead lane
+                }
+            }
+        }
+        for &g in &act {
+            in_range[g as usize].retain(|&l| iv[l as usize] != usize::MAX);
+        }
+        act.retain(|&g| !in_range[g as usize].is_empty());
+        round += 1;
+    }
+    res
+}
+
+/// Batched `CountPrefix(p)`: grouped prefix descent, then subtree sizes
+/// straight from the handles — identical prefixes pay a single descent.
+///
+/// Routed through the grouped pipeline only on high-sharing tries: the
+/// scalar walker is descent-only (one delimiter pair at the end, no
+/// per-level rank chain), so there is no memory latency for lockstep
+/// grouping to overlap — dedup of shared prefix descents is the whole
+/// upside, and it only outweighs the group bookkeeping when descents
+/// collapse heavily.
+pub(crate) fn count_prefix_batch(pd: &PathDecompTrie, prefixes: &[BitStr<'_>]) -> Vec<usize> {
+    if prefixes.len() < MIN_BATCH || low_sharing(pd) {
+        return prefixes
+            .iter()
+            .map(|&p| crate::pd_scalar::count_prefix(pd, p))
+            .collect();
+    }
+    let desc = descend_batch(pd, prefixes, true);
+    let fg = found_groups(pd, &desc);
+    let counts = subtree_counts(pd, &fg);
+    let mut res = vec![0usize; prefixes.len()];
+    for (g, lanes) in fg.lanes.iter().enumerate() {
+        for &l in lanes {
+            res[l as usize] = counts[g];
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ops::SeqIndex;
+    use crate::pd::PathDecompTrie;
+    use wt_trie::BitString;
+
+    /// Pipeline-level smoke check (the cross-representation equivalence
+    /// suite lives in `tests/pd_model.rs`): every batched op must agree
+    /// with its scalar counterpart across group splits.
+    #[test]
+    fn group_descent_matches_scalar() {
+        let mut s = 0xBADC_0DE5u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let encode = |v: u64| BitString::from_bits((0..12).rev().map(move |k| (v >> k) & 1 != 0));
+        let seq: Vec<BitString> = (0..3000).map(|_| encode(next() % 900)).collect();
+        let pd = PathDecompTrie::build(&seq).unwrap();
+        let n = pd.len();
+        let positions: Vec<usize> = (0..300).map(|_| (next() % n as u64) as usize).collect();
+        let batched = pd.access_batch(&positions);
+        for (k, &p) in positions.iter().enumerate() {
+            assert_eq!(batched[k], pd.access(p), "access lane {k}");
+        }
+        let probes: Vec<BitString> = (0..200)
+            .map(|k| {
+                if k % 3 == 0 {
+                    encode(next() % 1200) // sometimes absent
+                } else {
+                    seq[(next() % seq.len() as u64) as usize].clone()
+                }
+            })
+            .collect();
+        let rank_q: Vec<_> = probes
+            .iter()
+            .map(|s| (s.as_bitstr(), (next() % (n as u64 + 1)) as usize))
+            .collect();
+        let got = pd.rank_batch(&rank_q);
+        for (k, &(s, pos)) in rank_q.iter().enumerate() {
+            assert_eq!(got[k], pd.rank(s, pos), "rank lane {k}");
+        }
+        let sel_q: Vec<_> = probes
+            .iter()
+            .map(|s| (s.as_bitstr(), (next() % 12) as usize))
+            .collect();
+        let got = pd.select_batch(&sel_q);
+        for (k, &(s, idx)) in sel_q.iter().enumerate() {
+            assert_eq!(got[k], pd.select(s, idx), "select lane {k}");
+        }
+        let prefixes: Vec<_> = probes
+            .iter()
+            .map(|s| s.as_bitstr().prefix((next() % 14) as usize % (s.len() + 1)))
+            .collect();
+        let got = pd.count_prefix_batch(&prefixes);
+        for (k, &p) in prefixes.iter().enumerate() {
+            assert_eq!(got[k], pd.count_prefix(p), "count_prefix lane {k}");
+        }
+    }
+}

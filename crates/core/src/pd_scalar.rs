@@ -1,0 +1,727 @@
+//! Specialized scalar descent for the path-decomposed static trie.
+//!
+//! The generic [`TrieNav`](crate::nav::TrieNav) descent resolves every
+//! binary node from scratch — three Elias–Fano probes (≈ five directory
+//! selects) per step — which costs more than the wavelet trie's own node
+//! resolution and wastes the locality the decomposition exists to create.
+//! This module walks the decomposition the way the layout wants to be
+//! walked, with a different specialization per query family:
+//!
+//! * **Structural descents carry no delimiter state.** Navigation needs
+//!   only the label arena, the branch-direction bits and the skeleton —
+//!   the segment delimiters (`bv_bounds`, `bv_ones`) play no part in
+//!   *where* a query goes. `rank`/`select`/`count`/`count_prefix` descend
+//!   with a two-cursor walker and record bare `(step, bit)` pairs; the
+//!   delimiter pairs are resolved *afterwards* in one batched pass —
+//!   prefetch every run start, then read, runs of consecutive steps
+//!   costing adjacent cursor advances. The counting queries resolve only
+//!   the pairs they return (one step), skipping the pass entirely.
+//! * **`access` defers the labels instead.** The position-mapping chain
+//!   never consults a label — branching bits live in the concatenated
+//!   bitvector, labels are skipped by construction — so the dependent
+//!   probe loop runs with delimiter cursors only, recording probe bits
+//!   and one `(first, last)` label-id range per visited path (BFS
+//!   numbering makes each range contiguous in the arena). The output
+//!   string is assembled afterwards from those ranges, off the dependent
+//!   chain.
+//! * **Heavy steps are cursor advances, light jumps prefetched rounds.**
+//!   Consecutive steps of one path occupy consecutive entries in every
+//!   per-step directory, so following the centroid path advances
+//!   [`EfCursor`]s through words already in cache. The light target of
+//!   step `f` is always path `f + 1`, known *before* the branch resolves —
+//!   its seats are hinted two levels deep a step ahead, and each jump
+//!   window-hints the whole fan of plausible *next* targets (exits are
+//!   geometric, and BFS numbering makes the targets a consecutive id
+//!   range sharing seat-sample strides).
+//!
+//! Every function answers bit-identically to the generic algorithms in
+//! [`nav`](crate::nav) — the oracle suite (`tests/pd_model.rs`) holds the
+//! two paths equal over every shape.
+
+use crate::pd::PathDecompTrie;
+use wt_bits::{BitRank, BitSelect, EfCursor};
+use wt_trie::{BitStr, BitString};
+
+/// One resolved branching step of a structural descent: the directory
+/// state of the β segment plus the branch taken.
+#[derive(Clone, Copy)]
+struct Step {
+    seg_start: u64,
+    seg_len: u64,
+    ones_before: u64,
+    bit: bool,
+}
+
+/// Inline capacity of a recorded descent; matches the generic
+/// `DescentPath` so the same realistic trie heights stay allocation-free.
+const INLINE_STEPS: usize = 40;
+
+/// Small stack of `Copy` records, inline with heap spill.
+struct InlineStack<T: Copy> {
+    inline: [std::mem::MaybeUninit<T>; INLINE_STEPS],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy> InlineStack<T> {
+    #[inline]
+    fn new() -> Self {
+        InlineStack {
+            inline: [std::mem::MaybeUninit::uninit(); INLINE_STEPS],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, s: T) {
+        if self.len < INLINE_STEPS {
+            self.inline[self.len].write(s);
+            self.len += 1;
+        } else {
+            self.spill.push(s);
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn inline_entry(&self, k: usize) -> T {
+        debug_assert!(k < self.len);
+        // SAFETY: `len` only grows past a slot after `push` wrote it, and
+        // `T` is `Copy` (no drop obligations).
+        unsafe { self.inline[k].assume_init() }
+    }
+
+    #[inline]
+    fn last(&self) -> Option<T> {
+        self.spill.last().copied().or(if self.len > 0 {
+            Some(self.inline_entry(self.len - 1))
+        } else {
+            None
+        })
+    }
+
+    /// First-to-last order.
+    fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len)
+            .map(|k| self.inline_entry(k))
+            .chain(self.spill.iter().copied())
+    }
+
+    /// Last-to-first order.
+    fn iter_rev(&self) -> impl Iterator<Item = T> + '_ {
+        self.spill
+            .iter()
+            .rev()
+            .copied()
+            .chain((0..self.len).rev().map(|k| self.inline_entry(k)))
+    }
+}
+
+/// Root-to-leaf record of resolved branching steps.
+type StepStack = InlineStack<Step>;
+
+/// Root-to-leaf record of bare `(global step, branch bit)` pairs — all a
+/// structural descent commits to before the batched delimiter resolve.
+type RawSteps = InlineStack<(usize, bool)>;
+
+/// Exits from a centroid path are geometric, so hinting this many next
+/// candidates per jump covers ≈ 94% of the following jumps.
+const JUMP_WINDOW: usize = 4;
+
+/// Structure-only cursor state: the current binary node `(path, step)`
+/// with its label bounds resolved, plus the light-jump candidate's degree
+/// pair. No segment delimiters — see the module docs.
+struct SkelWalker<'a> {
+    pd: &'a PathDecompTrie,
+    /// Global step of the current node; `f == f_end` at the path's leaf.
+    f: usize,
+    /// Step bound of the current path (`step_base + k`).
+    f_end: usize,
+    lab_lo: u64,
+    lab_hi: u64,
+    lab_cur: EfCursor,
+    /// Degree-prefix pair of the *light-jump candidate* (path `f + 1`):
+    /// `base = sk_lo`, `k = sk_hi − sk_lo`. BFS numbering makes the
+    /// candidate of consecutive steps consecutive skeleton entries, so
+    /// this rides a cursor too — `(base, k)` sits in registers at every
+    /// step and the jump's directory seats prefetch a full step early.
+    sk_lo: u64,
+    sk_hi: u64,
+    sk_cur: EfCursor,
+}
+
+impl<'a> SkelWalker<'a> {
+    /// Seats the walker on the root path; `None` when the trie is empty.
+    fn root(pd: &'a PathDecompTrie) -> Option<Self> {
+        if pd.is_empty() {
+            return None;
+        }
+        let (base, k) = pd.skeleton.node(0);
+        debug_assert_eq!(base, 0);
+        // Placeholder cursor: fully re-seated below before any use.
+        let dummy = pd.label_bounds.cursor(0);
+        let mut w = SkelWalker {
+            pd,
+            f: 0,
+            f_end: k,
+            lab_lo: 0,
+            lab_hi: 0,
+            lab_cur: dummy,
+            sk_lo: 0,
+            sk_hi: 0,
+            sk_cur: dummy,
+        };
+        w.seat_labels(0);
+        if k > 0 {
+            w.seat_skeleton(1);
+            w.prefetch_light();
+        }
+        Some(w)
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.f == self.f_end
+    }
+
+    #[inline]
+    fn label(&self) -> BitStr<'a> {
+        BitStr::new(
+            &self.pd.labels,
+            self.lab_lo as usize,
+            (self.lab_hi - self.lab_lo) as usize,
+        )
+    }
+
+    /// Seats the label cursor on entry `li` and resolves its `(lo, hi)`
+    /// bounds pair.
+    #[inline]
+    fn seat_labels(&mut self, li: usize) {
+        self.lab_cur = self.pd.label_bounds.cursor(li);
+        self.lab_lo = self.pd.label_bounds.cursor_value(self.lab_cur);
+        self.pd.label_bounds.advance(&mut self.lab_cur);
+        self.lab_hi = self.pd.label_bounds.cursor_value(self.lab_cur);
+    }
+
+    /// Seats the skeleton cursor on path `c` — the light-jump candidate —
+    /// and resolves its `(step_base, step_end)` degree-prefix pair.
+    #[inline]
+    fn seat_skeleton(&mut self, c: usize) {
+        let deg = self.pd.skeleton.degrees();
+        self.sk_cur = deg.cursor(c);
+        self.sk_lo = deg.cursor_value(self.sk_cur);
+        deg.advance(&mut self.sk_cur);
+        self.sk_hi = deg.cursor_value(self.sk_cur);
+    }
+
+    /// Hints the lines a light jump from the current step would touch —
+    /// exact addresses, issued a step ahead of the seats.
+    #[inline]
+    fn prefetch_light(&self) {
+        let c = self.f + 1;
+        let base = self.sk_lo as usize;
+        self.pd.label_bounds.prefetch_cursor_deep(base + c);
+        self.pd.labels.prefetch(self.lab_hi as usize);
+        if self.sk_hi > self.sk_lo {
+            self.pd.skeleton.degrees().prefetch_cursor_deep(base + 1);
+            self.pd.dirs.prefetch(base);
+        }
+    }
+
+    /// After a light jump: window-hints every plausible *next* jump target
+    /// (consecutive ids, shared seat strides) so back-to-back jumps — which
+    /// have no intervening work to hide latency behind — still land warm.
+    #[inline]
+    fn prefetch_jump_window(&self) {
+        let deg = self.pd.skeleton.degrees();
+        let cand_hi = (self.f + 1 + JUMP_WINDOW).min(deg.len() - 1);
+        deg.prefetch_cursor_deep(cand_hi);
+        let lab_hi = (self.sk_lo as usize + cand_hi).min(self.pd.label_bounds.len() - 1);
+        self.pd.label_bounds.prefetch_cursor_deep(lab_hi);
+    }
+
+    /// Moves to the child selected by `bit`: two cursor advances when the
+    /// branch follows the centroid path, one overlapped directory round
+    /// when it jumps to a child path.
+    #[inline]
+    fn descend(&mut self, bit: bool) {
+        debug_assert!(!self.is_leaf());
+        if bit == self.pd.dirs.get(self.f) {
+            self.f += 1;
+            self.lab_lo = self.lab_hi;
+            self.pd.label_bounds.advance(&mut self.lab_cur);
+            self.lab_hi = self.pd.label_bounds.cursor_value(self.lab_cur);
+            if self.f < self.f_end {
+                let deg = self.pd.skeleton.degrees();
+                self.sk_lo = self.sk_hi;
+                deg.advance(&mut self.sk_cur);
+                self.sk_hi = deg.cursor_value(self.sk_cur);
+            }
+        } else {
+            let c = self.f + 1;
+            let base = self.sk_lo as usize;
+            let k = (self.sk_hi - self.sk_lo) as usize;
+            self.seat_labels(base + c);
+            self.pd.labels.prefetch(self.lab_lo as usize);
+            self.f = base;
+            self.f_end = base + k;
+            if k > 0 {
+                self.seat_skeleton(base + 1);
+                self.prefetch_jump_window();
+            }
+        }
+        if self.f < self.f_end {
+            self.prefetch_light();
+        }
+    }
+}
+
+/// Reads the `(lo, hi)` delimiter pair of entry `f` from both segment
+/// directories through their seat samples.
+#[inline]
+fn delimiter_pairs(pd: &PathDecompTrie, f: usize) -> (u64, u64, u64, u64) {
+    let (slo, shi) = pd.bv_bounds.get_pair_seated(f);
+    let (olo, ohi) = pd.bv_ones.get_pair_seated(f);
+    (slo, shi, olo, ohi)
+}
+
+/// Resolves a structural descent's delimiter pairs in one batched pass:
+/// every run start is hinted two levels deep first, then runs of
+/// consecutive steps (the common case — stretches of one path) resolve as
+/// adjacent cursor advances over warm words.
+///
+/// `frac` (a position-mapping query's `pos / len`) additionally hints each
+/// resolved step's estimated probe superblock *as the step resolves* — the
+/// remaining resolve compute then hides the concat directory's fetch
+/// latency before [`map_down`] issues its dependent chain.
+fn resolve_steps(pd: &PathDecompTrie, raw: &RawSteps, frac: Option<f64>) -> StepStack {
+    let mut prev = usize::MAX - 1;
+    for (f, _) in raw.iter() {
+        if f != prev + 1 {
+            pd.bv_bounds.prefetch_cursor_deep(f);
+            pd.bv_ones.prefetch_cursor_deep(f);
+        }
+        prev = f;
+    }
+    let mut steps = StepStack::new();
+    let Some((f0, _)) = raw.iter().next() else {
+        return steps;
+    };
+    let mut bc = pd.bv_bounds.cursor(f0);
+    let mut slo = pd.bv_bounds.cursor_value(bc);
+    let mut oc = pd.bv_ones.cursor(f0);
+    let mut olo = pd.bv_ones.cursor_value(oc);
+    let mut prev = f0;
+    for (f, bit) in raw.iter() {
+        if f != prev {
+            // New run: re-seat both cursors on its first entry.
+            bc = pd.bv_bounds.cursor(f);
+            slo = pd.bv_bounds.cursor_value(bc);
+            oc = pd.bv_ones.cursor(f);
+            olo = pd.bv_ones.cursor_value(oc);
+        }
+        pd.bv_bounds.advance(&mut bc);
+        let shi = pd.bv_bounds.cursor_value(bc);
+        pd.bv_ones.advance(&mut oc);
+        let ohi = pd.bv_ones.cursor_value(oc);
+        let st = Step {
+            seg_start: slo,
+            seg_len: shi - slo,
+            ones_before: olo,
+            bit,
+        };
+        if let Some(fr) = frac {
+            pd.bvs.prefetch(est_probe(st, fr));
+        }
+        steps.push(st);
+        slo = shi;
+        olo = ohi;
+        prev = f + 1;
+    }
+    steps
+}
+
+/// Occurrences in the subtree a recorded descent ends in: the branch-side
+/// total of the deepest step — the only delimiter pair it resolves.
+#[inline]
+fn last_side_total(pd: &PathDecompTrie, raw: &RawSteps) -> usize {
+    match raw.last() {
+        Some((f, bit)) => {
+            let (slo, shi, olo, ohi) = delimiter_pairs(pd, f);
+            if bit {
+                (ohi - olo) as usize
+            } else {
+                ((shi - slo) - (ohi - olo)) as usize
+            }
+        }
+        None => pd.len(), // root leaf: the whole sequence
+    }
+}
+
+/// Delimiter-cursor state for the dependent probe chain of `access`: the
+/// same shape as [`SkelWalker`] with segment cursors *instead of* label
+/// bounds — the position mapping never consults a label.
+struct ProbeWalker<'a> {
+    pd: &'a PathDecompTrie,
+    f: usize,
+    f_end: usize,
+    seg_lo: u64,
+    seg_hi: u64,
+    bv_cur: EfCursor,
+    on_lo: u64,
+    on_hi: u64,
+    on_cur: EfCursor,
+    sk_lo: u64,
+    sk_hi: u64,
+    sk_cur: EfCursor,
+}
+
+impl<'a> ProbeWalker<'a> {
+    fn root(pd: &'a PathDecompTrie) -> Option<Self> {
+        if pd.is_empty() {
+            return None;
+        }
+        let (base, k) = pd.skeleton.node(0);
+        debug_assert_eq!(base, 0);
+        let dummy = pd.bv_bounds.cursor(0);
+        let mut w = ProbeWalker {
+            pd,
+            f: 0,
+            f_end: k,
+            seg_lo: 0,
+            seg_hi: 0,
+            bv_cur: dummy,
+            on_lo: 0,
+            on_hi: 0,
+            on_cur: dummy,
+            sk_lo: 0,
+            sk_hi: 0,
+            sk_cur: dummy,
+        };
+        if k > 0 {
+            w.seat_segments(0);
+            w.seat_skeleton(1);
+            w.prefetch_light();
+            w.prefetch_jump_window();
+        }
+        Some(w)
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.f == self.f_end
+    }
+
+    /// Seats the two segment cursors on step `f` (which must exist) and
+    /// resolves the `(lo, hi)` delimiter pairs.
+    #[inline]
+    fn seat_segments(&mut self, f: usize) {
+        self.bv_cur = self.pd.bv_bounds.cursor(f);
+        self.seg_lo = self.pd.bv_bounds.cursor_value(self.bv_cur);
+        self.pd.bv_bounds.advance(&mut self.bv_cur);
+        self.seg_hi = self.pd.bv_bounds.cursor_value(self.bv_cur);
+        self.on_cur = self.pd.bv_ones.cursor(f);
+        self.on_lo = self.pd.bv_ones.cursor_value(self.on_cur);
+        self.pd.bv_ones.advance(&mut self.on_cur);
+        self.on_hi = self.pd.bv_ones.cursor_value(self.on_cur);
+    }
+
+    #[inline]
+    fn seat_skeleton(&mut self, c: usize) {
+        let deg = self.pd.skeleton.degrees();
+        self.sk_cur = deg.cursor(c);
+        self.sk_lo = deg.cursor_value(self.sk_cur);
+        deg.advance(&mut self.sk_cur);
+        self.sk_hi = deg.cursor_value(self.sk_cur);
+    }
+
+    #[inline]
+    fn prefetch_light(&self) {
+        let base = self.sk_lo as usize;
+        if self.sk_hi > self.sk_lo {
+            self.pd.bv_bounds.prefetch_cursor_deep(base);
+            self.pd.bv_ones.prefetch_cursor_deep(base);
+            self.pd.skeleton.degrees().prefetch_cursor_deep(base + 1);
+            self.pd.dirs.prefetch(base);
+        }
+    }
+
+    #[inline]
+    fn prefetch_jump_window(&self) {
+        let deg = self.pd.skeleton.degrees();
+        let cand_hi = (self.f + 1 + JUMP_WINDOW).min(deg.len() - 1);
+        deg.prefetch_cursor_deep(cand_hi);
+        let seg_hi = (self.sk_lo as usize + JUMP_WINDOW).min(self.pd.bv_bounds.len() - 1);
+        self.pd.bv_bounds.prefetch_cursor_deep(seg_hi);
+        self.pd.bv_ones.prefetch_cursor_deep(seg_hi);
+    }
+
+    #[inline]
+    fn descend(&mut self, bit: bool) {
+        debug_assert!(!self.is_leaf());
+        if bit == self.pd.dirs.get(self.f) {
+            self.f += 1;
+            if self.f < self.f_end {
+                self.seg_lo = self.seg_hi;
+                self.pd.bv_bounds.advance(&mut self.bv_cur);
+                self.seg_hi = self.pd.bv_bounds.cursor_value(self.bv_cur);
+                self.on_lo = self.on_hi;
+                self.pd.bv_ones.advance(&mut self.on_cur);
+                self.on_hi = self.pd.bv_ones.cursor_value(self.on_cur);
+                let deg = self.pd.skeleton.degrees();
+                self.sk_lo = self.sk_hi;
+                deg.advance(&mut self.sk_cur);
+                self.sk_hi = deg.cursor_value(self.sk_cur);
+            }
+        } else {
+            let base = self.sk_lo as usize;
+            let k = (self.sk_hi - self.sk_lo) as usize;
+            self.f = base;
+            self.f_end = base + k;
+            if k > 0 {
+                self.seat_segments(base);
+                self.seat_skeleton(base + 1);
+                self.prefetch_jump_window();
+            }
+        }
+        if self.f < self.f_end {
+            self.prefetch_light();
+        }
+    }
+}
+
+/// `Access(pos)`: the dependent rank chain runs first with delimiter
+/// cursors only, recording each probe bit and one contiguous label-id
+/// range per visited path; the output string is assembled afterwards from
+/// those ranges with the label directory prefetched up front.
+pub(crate) fn access(pd: &PathDecompTrie, pos: usize) -> BitString {
+    assert!(pos < pd.len(), "Access position out of bounds");
+    let mut w = ProbeWalker::root(pd).expect("nonempty");
+    // (first, last) label id of each visited path: path `v` entered at
+    // step base `S(v)` and left at step `fx` contributes exactly label ids
+    // `S(v) + v ..= fx + v`.
+    let mut paths: InlineStack<(usize, usize)> = InlineStack::new();
+    let mut bits = BitString::new();
+    let mut v = 0usize;
+    let mut entry = 0usize;
+    let mut p = pos as u64;
+    while !w.is_leaf() {
+        if w.f + 1 < w.f_end {
+            // Hint the *heavy* candidate of the next probe: staying on the
+            // path fixes the branch bit to `dirs[f]`, so the next position
+            // is the mapped `p` under that bit — estimated from the
+            // segment's ones density — offset into the adjacent segment.
+            let dir = pd.dirs.get(w.f);
+            let r1e = p * (w.on_hi - w.on_lo) / (w.seg_hi - w.seg_lo);
+            let pe = if dir { r1e } else { p - r1e };
+            pd.bvs.prefetch((w.seg_hi + pe) as usize);
+        }
+        let (bit, r1g) = pd.bvs.get_rank1((w.seg_lo + p) as usize);
+        let r1 = r1g as u64 - w.on_lo;
+        p = if bit { r1 } else { p - r1 };
+        bits.push(bit);
+        let f = w.f;
+        let light = bit != pd.dirs.get(f);
+        w.descend(bit);
+        if light {
+            paths.push((entry + v, f + v));
+            v = f + 1;
+            entry = w.f;
+        }
+        if !w.is_leaf() {
+            // The next probe's position is now exact: resolve its block
+            // through the (estimate-hinted) directory and pull the precise
+            // offset line while this iteration's tail work retires.
+            pd.bvs.prefetch_deep((w.seg_lo + p) as usize, 0);
+        }
+    }
+    paths.push((entry + v, w.f_end + v));
+
+    // Assembly: hint every range's directory seat, then walk each range's
+    // bounds cursor, copying arena slices interleaved with the recorded
+    // probe bits (one after every label until the bits run out).
+    for (first, _) in paths.iter() {
+        pd.label_bounds.prefetch_cursor_deep(first);
+    }
+    let mut out = BitString::new();
+    let bits = bits.as_bitstr();
+    let mut bi = 0usize;
+    for (first, last) in paths.iter() {
+        let mut cur = pd.label_bounds.cursor(first);
+        let mut lo = pd.label_bounds.cursor_value(cur);
+        pd.labels.prefetch(lo as usize);
+        for _ in first..=last {
+            pd.label_bounds.advance(&mut cur);
+            let hi = pd.label_bounds.cursor_value(cur);
+            out.push_str(BitStr::new(&pd.labels, lo as usize, (hi - lo) as usize));
+            if bi < bits.len() {
+                out.push(bits.get(bi));
+                bi += 1;
+            }
+            lo = hi;
+        }
+    }
+    out
+}
+
+/// Structural descent consuming the *exact* string `s`; `Some(raw steps)`
+/// iff `s ∈ Sset`. No delimiter reads — labels, directions and the
+/// skeleton only.
+fn descend_exact(pd: &PathDecompTrie, s: BitStr<'_>) -> Option<RawSteps> {
+    let mut w = SkelWalker::root(pd)?;
+    let mut steps = RawSteps::new();
+    let mut delta = 0usize;
+    loop {
+        let rest = s.suffix(delta);
+        let l = w.label().lcp(&rest);
+        if l < (w.lab_hi - w.lab_lo) as usize {
+            return None;
+        }
+        delta += l;
+        if w.is_leaf() {
+            return (delta == s.len()).then_some(steps);
+        }
+        if delta == s.len() {
+            // s is a proper prefix of every string below: not an element.
+            return None;
+        }
+        let b = s.get(delta);
+        delta += 1;
+        steps.push((w.f, b));
+        w.descend(b);
+    }
+}
+
+/// Estimated probe position of a resolved step: per-level splits are
+/// proportional on near-uniform data, so the *relative* position
+/// `p / seg_len` stays close to its root value all the way down.
+#[inline]
+fn est_probe(st: Step, frac: f64) -> usize {
+    (st.seg_start + ((frac * st.seg_len as f64) as u64).min(st.seg_len - 1)) as usize
+}
+
+/// Maps `pos` down the resolved chain. Every segment base is known after
+/// the structural descent and [`est_probe`] predicts each step's probe
+/// position to within the directory granularity, so the chain prefetches
+/// in two overlapped rounds — superblock lines first, then the offset
+/// words via the warm directory — before the first dependent rank.
+fn map_down(pd: &PathDecompTrie, steps: &StepStack, pos: usize) -> usize {
+    // The superblock/class lines were hinted per step by [`resolve_steps`];
+    // resolve each estimate's offset pointer through those warm lines,
+    // deduped by superblock (16 × 63 bits) — the tail of the chain walks
+    // ever-shorter consecutive segments whose estimates share directory
+    // lines, and the line-fill buffers are the scarce resource.
+    const SB_BITS: usize = 1008;
+    let frac = pos as f64 / pd.len() as f64;
+    let mut prev = usize::MAX;
+    for st in steps.iter() {
+        let est = est_probe(st, frac);
+        if est / SB_BITS == prev {
+            continue;
+        }
+        prev = est / SB_BITS;
+        let spread = ((frac * st.seg_len as f64).sqrt() as usize / 1000).min(2);
+        pd.bvs.prefetch_deep(est, spread);
+    }
+    // Dependent chain. After each step maps `p`, the *next* probe position
+    // is exact — resolve its block and pull the precise offset line with a
+    // full probe's worth of lead.
+    let mut p = pos as u64;
+    let mut iter = steps.iter();
+    let mut cur = iter.next();
+    while let Some(st) = cur {
+        let next = iter.next();
+        let r1 = pd.bvs.rank1((st.seg_start + p) as usize) as u64 - st.ones_before;
+        p = if st.bit { r1 } else { p - r1 };
+        if let Some(nx) = next {
+            pd.bvs.prefetch_deep((nx.seg_start + p) as usize, 0);
+        }
+        cur = next;
+    }
+    p as usize
+}
+
+/// `Rank(s, pos)`.
+pub(crate) fn rank(pd: &PathDecompTrie, s: BitStr<'_>, pos: usize) -> usize {
+    assert!(pos <= pd.len(), "Rank position out of bounds");
+    match descend_exact(pd, s) {
+        None => 0,
+        Some(raw) => {
+            let frac = pos as f64 / pd.len() as f64;
+            map_down(pd, &resolve_steps(pd, &raw, Some(frac)), pos)
+        }
+    }
+}
+
+/// `Count(s)` — resolves a single delimiter pair.
+pub(crate) fn count(pd: &PathDecompTrie, s: BitStr<'_>) -> usize {
+    match descend_exact(pd, s) {
+        None => 0,
+        Some(raw) => last_side_total(pd, &raw),
+    }
+}
+
+/// `CountPrefix(p)` — resolves at most one delimiter pair: the subtree
+/// size of the node the prefix lands in (possibly mid-label).
+pub(crate) fn count_prefix(pd: &PathDecompTrie, p: BitStr<'_>) -> usize {
+    let Some(mut w) = SkelWalker::root(pd) else {
+        return 0;
+    };
+    let mut steps = RawSteps::new();
+    let mut delta = 0usize;
+    loop {
+        let rest = p.suffix(delta);
+        let l = w.label().lcp(&rest);
+        delta += l;
+        if delta == p.len() {
+            // p exhausted (possibly mid-label): subtree of this node.
+            return if w.is_leaf() {
+                last_side_total(pd, &steps)
+            } else {
+                let (slo, shi) = pd.bv_bounds.get_pair_seated(w.f);
+                (shi - slo) as usize
+            };
+        }
+        if l < (w.lab_hi - w.lab_lo) as usize || w.is_leaf() {
+            return 0;
+        }
+        let b = p.get(delta);
+        delta += 1;
+        steps.push((w.f, b));
+        w.descend(b);
+    }
+}
+
+/// `Select(s, idx)`: structural descent down, prefetched select chain up.
+pub(crate) fn select(pd: &PathDecompTrie, s: BitStr<'_>, idx: usize) -> Option<usize> {
+    let raw = descend_exact(pd, s)?;
+    if idx >= last_side_total(pd, &raw) {
+        return None;
+    }
+    if raw.is_empty() {
+        return Some(idx);
+    }
+    let steps = resolve_steps(pd, &raw, None);
+    for st in steps.iter() {
+        pd.bvs.prefetch(st.seg_start as usize);
+    }
+    let mut i = idx as u64;
+    for st in steps.iter_rev() {
+        let before = if st.bit {
+            st.ones_before
+        } else {
+            st.seg_start - st.ones_before
+        };
+        let p = pd.bvs.select(st.bit, (before + i) as usize)? as u64;
+        if p >= st.seg_start + st.seg_len {
+            return None;
+        }
+        i = p - st.seg_start;
+    }
+    Some(i as usize)
+}

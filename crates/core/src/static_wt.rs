@@ -515,6 +515,13 @@ impl WaveletTrie {
         self.tree.n_nodes()
     }
 
+    /// Number of distinct strings (= trie leaves), O(1) off the
+    /// internal-flag directory: leaves = nodes − internal nodes.
+    #[inline]
+    pub fn n_distinct(&self) -> usize {
+        self.internal.len() - self.internal.count_ones()
+    }
+
     #[inline]
     fn label_range(&self, v: usize) -> (usize, usize) {
         let pid = self.tree.preorder(v);

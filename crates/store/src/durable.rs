@@ -61,13 +61,13 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use wavelet_trie::{DynamicWaveletTrie, SeqIndex, WaveletTrie};
+use wavelet_trie::{DynamicWaveletTrie, PathDecompTrie, SeqIndex, WaveletTrie};
 use wt_bits::persist::{kind, Archive, ArchiveWriter, LoadError};
 use wt_bits::storage::{tmp_path, FsStorage, RetryPolicy, RetryingStorage, Storage};
 use wt_trie::BitStr;
 
 use crate::error::{Quarantine, RecoveryReport, StoreError, StoreOp};
-use crate::{SealedSegment, Segment, StoreConfig, TieredStore};
+use crate::{SealedSegment, Segment, SegmentKind, StaticRepr, StoreConfig, TieredStore};
 
 // --- file naming -------------------------------------------------------------
 
@@ -122,8 +122,19 @@ const SEC_GENERATION: u32 = 1;
 struct ManifestData {
     config: StoreConfig,
     total_len: usize,
-    /// `(sealed, length)` per segment, in sequence order.
-    entries: Vec<(bool, usize)>,
+    /// `(kind, length)` per segment, in sequence order.
+    entries: Vec<(SegmentKind, usize)>,
+}
+
+/// Manifest tag of a segment kind. Hot = 0 and Wavelet = 1 match the
+/// pre-PR-9 `is_sealed as u64` encoding, so manifests of stores without
+/// path-decomposed segments stay byte-identical and old images load.
+fn kind_tag(kind: SegmentKind) -> u64 {
+    match kind {
+        SegmentKind::Hot => 0,
+        SegmentKind::Wavelet => 1,
+        SegmentKind::PathDecomp => 2,
+    }
 }
 
 fn manifest_bytes(store: &TieredStore, generation: u64) -> Vec<u8> {
@@ -134,7 +145,7 @@ fn manifest_bytes(store: &TieredStore, generation: u64) -> Vec<u8> {
         store.segments.len() as u64,
     ];
     for g in &store.segments {
-        payload.push(g.is_sealed() as u64);
+        payload.push(kind_tag(g.kind()));
         payload.push(g.len() as u64);
     }
     let mut w = ArchiveWriter::new(kind::MANIFEST);
@@ -157,12 +168,13 @@ fn parse_manifest(bytes: &[u8], generation: u64) -> Result<ManifestData, LoadErr
     }
     let mut entries = Vec::with_capacity(n_segments);
     for _ in 0..n_segments {
-        let sealed = match r.read_u64()? {
-            0 => false,
-            1 => true,
+        let kind = match r.read_u64()? {
+            0 => SegmentKind::Hot,
+            1 => SegmentKind::Wavelet,
+            2 => SegmentKind::PathDecomp,
             _ => return Err(LoadError::Invalid("manifest segment tag")),
         };
-        entries.push((sealed, r.read_u64()? as usize));
+        entries.push((kind, r.read_u64()? as usize));
     }
     r.finish()?;
     if generation > 0 {
@@ -312,7 +324,7 @@ impl TieredStore {
         let mut keep: Vec<String> = Vec::with_capacity(self.segments.len() + 1);
         for (i, g) in self.segments.iter().enumerate() {
             let (name, bytes) = match g {
-                Segment::Sealed(s) => (segment_name(generation, i, true), s.wt.save_bytes()),
+                Segment::Sealed(s) => (segment_name(generation, i, true), s.repr.save_bytes()),
                 Segment::Hot(h) => (segment_name(generation, i, false), hot_log_bytes(h)),
             };
             put_file(storage, dir, &name, &bytes)?;
@@ -390,6 +402,17 @@ impl TieredStore {
     }
 }
 
+/// Loads a sealed segment archive as the representation its manifest tag
+/// names. The embedded archive kind (`WAVELET_TRIE` vs `PATH_DECOMP`)
+/// cross-checks the tag: a mismatch fails with `WrongKind`.
+fn load_sealed(kind: SegmentKind, bytes: &[u8]) -> Result<StaticRepr, LoadError> {
+    match kind {
+        SegmentKind::Wavelet => WaveletTrie::load_bytes(bytes).map(StaticRepr::Wt),
+        SegmentKind::PathDecomp => PathDecompTrie::load_bytes(bytes).map(StaticRepr::Pd),
+        SegmentKind::Hot => unreachable!("hot segments are string logs, not sealed archives"),
+    }
+}
+
 /// Committed generations present in `dir`, sorted ascending.
 fn committed_generations(storage: &dyn Storage, dir: &Path) -> Result<Vec<u64>, StoreError> {
     let names = storage
@@ -417,20 +440,21 @@ fn load_generation(
     let manifest = parse_manifest(&bytes, generation).map_err(|e| StoreError::format(&mpath, e))?;
     let mut segments = Vec::with_capacity(manifest.entries.len());
     let mut sum = 0usize;
-    for (i, &(sealed, seg_len)) in manifest.entries.iter().enumerate() {
+    for (i, &(kind, seg_len)) in manifest.entries.iter().enumerate() {
+        let sealed = kind != SegmentKind::Hot;
         let spath = dir.join(segment_name(generation, i, sealed));
         let bytes = storage
             .read(&spath)
             .map_err(|e| StoreError::io(StoreOp::Read, &spath, e))?;
         if sealed {
-            let wt = WaveletTrie::load_bytes(&bytes).map_err(|e| StoreError::format(&spath, e))?;
-            if wt.len() != seg_len || seg_len == 0 {
+            let repr = load_sealed(kind, &bytes).map_err(|e| StoreError::format(&spath, e))?;
+            if repr.len() != seg_len || seg_len == 0 {
                 return Err(StoreError::validate(
                     &spath,
                     "sealed segment length vs manifest",
                 ));
             }
-            segments.push(Segment::Sealed(Arc::new(SealedSegment::new(wt))));
+            segments.push(Segment::Sealed(Arc::new(SealedSegment::new(repr))));
         } else {
             let (h, _) =
                 replay_hot_log(&bytes, false).map_err(|e| StoreError::format(&spath, e))?;
@@ -512,7 +536,8 @@ impl TieredStore {
         };
         report.generation = generation;
         let mut segments: Vec<Segment> = Vec::with_capacity(manifest.entries.len());
-        for (i, &(sealed, seg_len)) in manifest.entries.iter().enumerate() {
+        for (i, &(kind, seg_len)) in manifest.entries.iter().enumerate() {
+            let sealed = kind != SegmentKind::Hot;
             let spath = dir.join(segment_name(generation, i, sealed));
             let bytes = match storage.read(&spath) {
                 Ok(b) => b,
@@ -527,10 +552,10 @@ impl TieredStore {
                 }
             };
             if sealed {
-                match WaveletTrie::load_bytes(&bytes) {
-                    Ok(wt) if wt.len() == seg_len && seg_len > 0 => {
+                match load_sealed(kind, &bytes) {
+                    Ok(repr) if repr.len() == seg_len && seg_len > 0 => {
                         report.strings_recovered += seg_len;
-                        segments.push(Segment::Sealed(Arc::new(SealedSegment::new(wt))));
+                        segments.push(Segment::Sealed(Arc::new(SealedSegment::new(repr))));
                     }
                     Ok(_) => {
                         report.quarantined.push(Quarantine {

@@ -38,11 +38,11 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-use wavelet_trie::{DynamicWaveletTrie, SeqIndex, WaveletTrie};
+use wavelet_trie::DynamicWaveletTrie;
 use wt_bits::storage::{RetryPolicy, Storage};
 
 use crate::error::StoreError;
-use crate::{auto_freeze_threads, SealedSegment, Segment, TieredStore};
+use crate::{auto_freeze_threads, SealedSegment, Segment, StaticRepr, TieredStore};
 
 use self::MaintenanceStep::*;
 
@@ -248,7 +248,7 @@ impl TieredStore {
             })
             .collect();
         let threads = threads.max(1);
-        type Frozen = (usize, Result<WaveletTrie, MaintenanceFailure>);
+        type Frozen = (usize, Result<StaticRepr, MaintenanceFailure>);
         let frozen: Vec<Frozen> = if jobs.len() <= 1 || threads == 1 {
             // One hot segment (or one worker): spread its freeze across
             // the workers internally instead.
@@ -259,7 +259,7 @@ impl TieredStore {
                         *i,
                         run_step(step, || {
                             probe.step(step);
-                            h.freeze_with_threads(threads)
+                            StaticRepr::choose_with_threads(h.freeze_with_threads(threads), threads)
                         }),
                     )
                 })
@@ -276,7 +276,7 @@ impl TieredStore {
                                 i,
                                 run_step(step, || {
                                     probe.step(step);
-                                    h.freeze()
+                                    StaticRepr::choose_with_threads(h.freeze(), 1)
                                 }),
                             )
                         })
@@ -305,9 +305,9 @@ impl TieredStore {
         let mut installed = 0;
         for (i, result) in frozen {
             let step = InstallFrozen { segment: i };
-            match result.and_then(|wt| run_step(step, || probe.step(step)).map(|()| wt)) {
-                Ok(wt) => {
-                    self.segments[i] = Segment::Sealed(Arc::new(SealedSegment::new(wt)));
+            match result.and_then(|repr| run_step(step, || probe.step(step)).map(|()| repr)) {
+                Ok(repr) => {
+                    self.segments[i] = Segment::Sealed(Arc::new(SealedSegment::new(repr)));
                     installed += 1;
                 }
                 Err(failure) => failures.push(failure),
@@ -356,8 +356,8 @@ impl TieredStore {
             else {
                 unreachable!("merge_probed called on a non-sealed pair");
             };
-            let mut melted: DynamicWaveletTrie = a.wt.thaw();
-            for s in b.wt.iter_seq_boxed() {
+            let mut melted: DynamicWaveletTrie = a.repr.thaw();
+            for s in b.repr.index().iter_seq_boxed() {
                 // The two segments coexist in one store, whose inserts
                 // check admits() across *all* segments — so their union
                 // is prefix-free and append cannot fail.
@@ -365,7 +365,7 @@ impl TieredStore {
                     .append(s.as_bitstr())
                     .expect("segments are jointly prefix-free");
             }
-            melted.freeze()
+            StaticRepr::choose_with_threads(melted.freeze(), 1)
         });
         let merged = match merged {
             Ok(m) => m,

@@ -198,7 +198,7 @@ impl SpaceUsage for StoreSnapshot {
             .segments
             .iter()
             .map(|g| match g {
-                Segment::Sealed(s) => s.wt.size_bits(),
+                Segment::Sealed(s) => s.repr.size_bits(),
                 Segment::Hot(h) => h.size_bits(),
             })
             .sum();

@@ -11,13 +11,18 @@
 //!   encoding of the static Wavelet Trie (§3).
 //! * [`patricia`] — the dynamic Patricia trie of Appendix B
 //!   ([`PatriciaSet`]), with O(|s|) insert and merge-on-delete.
+//! * [`pathdecomp`] — BFS skeleton of a centroid path decomposition
+//!   ([`PathSkeleton`]), the shape directory of the path-decomposed
+//!   static trie.
 
 pub mod bitstr;
 pub mod bp;
 pub mod dfuds;
+pub mod pathdecomp;
 pub mod patricia;
 
 pub use bitstr::{BitStr, BitString};
 pub use bp::BpSupport;
 pub use dfuds::{Dfuds, NodeId};
+pub use pathdecomp::PathSkeleton;
 pub use patricia::{PatriciaSet, PrefixFreeViolation};

@@ -12,7 +12,7 @@
 
 use std::path::{Path, PathBuf};
 
-use wavelet_trie::IndexedStrings;
+use wavelet_trie::{BitString, IndexedStrings, PathDecompTrie, SeqIndex, WaveletTrie};
 use wt_bits::persist::{kind, to_bytes};
 use wt_bits::{
     BitAccess, BitRank, EliasFano, FaultPlan, FaultStorage, FsStorage, RawBitVec, RrrVector,
@@ -144,6 +144,41 @@ fn indexed_strings_fixture() {
         loaded.distinct_len(),
         IndexedStrings::build(fixture_urls()).distinct_len()
     );
+}
+
+/// Bit-level codes behind the path-decomposition fixture: a mix of
+/// repeated shallow values and an all-distinct stretch, so the fixture
+/// trie has both fat multi-step paths and degenerate one-step ones.
+fn fixture_codes() -> Vec<BitString> {
+    let encode = |v: u64| BitString::from_bits((0..10).rev().map(move |k| (v >> k) & 1 != 0));
+    let mut codes: Vec<BitString> = (0..120u64).map(|i| encode(i * i % 23)).collect();
+    codes.extend((0..80u64).map(|v| encode(512 + v)));
+    codes
+}
+
+#[test]
+fn path_decomp_fixture() {
+    let wt = WaveletTrie::build(&fixture_codes()).expect("prefix-free");
+    let pd = PathDecompTrie::from_static(&wt);
+    check_fixture("pd-v1.wt", &pd.save_bytes());
+    if regen() {
+        return;
+    }
+    let bytes = std::fs::read(fixture_dir().join("pd-v1.wt")).unwrap();
+    let loaded = PathDecompTrie::load_bytes(&bytes).unwrap();
+    // Reader compat: the loaded view answers like the wavelet-trie oracle.
+    let codes = fixture_codes();
+    assert_eq!(loaded.len(), codes.len());
+    for (i, c) in codes.iter().enumerate() {
+        assert_eq!(&SeqIndex::access(&loaded, i), c, "access({i})");
+    }
+    for c in codes.iter().step_by(7) {
+        let s = c.as_bitstr();
+        assert_eq!(loaded.rank(s, codes.len()), wt.rank(s, codes.len()));
+        assert_eq!(loaded.select(s, 0), wt.select(s, 0));
+    }
+    // Writer compat round-trips through the zero-copy view.
+    assert_eq!(loaded.save_bytes(), bytes);
 }
 
 /// The canonical fixture store: sealed segments AND a non-empty hot tail,
