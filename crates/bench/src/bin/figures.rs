@@ -61,18 +61,20 @@ fn main() {
         .iter()
         .map(|s| BitString::parse(s))
         .collect();
-    let wt = WaveletTrie::build(&seq).unwrap();
+    let wt = WaveletTrie::build(&seq).expect("the Figure 2 sequence is prefix-free");
     render(&wt);
 
     // ---- Figure 3: insertion splitting a node -----------------------------
     println!("\nFigure 3 — Insert(s, 3) splits an existing node");
     let mut dy = DynamicWaveletTrie::new();
     for s in ["01011", "01011", "11", "01011"] {
-        dy.append(BitString::parse(s).as_bitstr()).unwrap();
+        dy.append(BitString::parse(s).as_bitstr())
+            .expect("the Figure 3 sequence is prefix-free");
     }
     println!("\nbefore (sequence 〈01011,01011,11,01011〉):\n");
     render(&dy);
-    dy.insert(BitString::parse("01010").as_bitstr(), 3).unwrap();
+    dy.insert(BitString::parse("01010").as_bitstr(), 3)
+        .expect("01010 keeps the Figure 3 sequence prefix-free");
     println!("\nafter inserting 01010 at position 3 (node \"1011\" split,");
     println!("new internal node got Init(1, 3) then the new 0-bit):\n");
     render(&dy);

@@ -29,7 +29,8 @@ struct Measurement {
 
 fn median_ms(samples: usize, mut f: impl FnMut() -> f64) -> f64 {
     let mut v: Vec<f64> = (0..samples).map(|_| f()).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Timings come from `Instant` deltas, so NaN is impossible.
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timings are never NaN"));
     v[v.len() / 2]
 }
 
@@ -46,13 +47,15 @@ fn bench_indexed_strings(n: usize, samples: usize, out: &mut Vec<Measurement>, t
     });
     let idx = IndexedStrings::build(strings.iter());
     let path = scratch_dir().join(format!("urls-{n}.wt"));
-    let save_ms = median_ms(samples, || time_once_ms(|| idx.save(&path).unwrap()).1);
-    let file_bytes = std::fs::metadata(&path).unwrap().len();
+    let save_ms = median_ms(samples, || {
+        time_once_ms(|| idx.save(&path).expect("save image to scratch dir")).1
+    });
+    let file_bytes = std::fs::metadata(&path).expect("stat saved image").len();
     let load_ms = median_ms(samples, || {
-        time_once_ms(|| IndexedStrings::load(&path).unwrap()).1
+        time_once_ms(|| IndexedStrings::load(&path).expect("load image just saved")).1
     });
     // Sanity: the loaded index answers like the built one.
-    let loaded = IndexedStrings::load(&path).unwrap();
+    let loaded = IndexedStrings::load(&path).expect("load image just saved");
     assert_eq!(loaded.len(), n);
     assert_eq!(loaded.get_string(n / 2), strings[n / 2]);
     assert_eq!(loaded.count_prefix("http://"), idx.count_prefix("http://"));
@@ -104,22 +107,29 @@ fn bench_tiered(n: usize, samples: usize, out: &mut Vec<Measurement>, t: &Table)
     let build_ms = median_ms(samples, || time_once_ms(build).1);
     let st = build();
     let dir = scratch_dir().join(format!("store-{n}"));
-    let save_ms = median_ms(samples, || time_once_ms(|| st.save_dir(&dir).unwrap()).1);
+    let save_ms = median_ms(samples, || {
+        time_once_ms(|| st.save_dir(&dir).expect("save store to scratch dir")).1
+    });
     let dir_bytes: u64 = std::fs::read_dir(&dir)
-        .unwrap()
-        .map(|e| e.unwrap().metadata().unwrap().len())
+        .expect("list saved store dir")
+        .map(|e| {
+            e.expect("read dir entry")
+                .metadata()
+                .expect("stat dir entry")
+                .len()
+        })
         .sum();
     let load_ms = median_ms(samples, || {
-        time_once_ms(|| TieredStrings::load_dir(&dir).unwrap()).1
+        time_once_ms(|| TieredStrings::load_dir(&dir).expect("load store just saved")).1
     });
-    let loaded = TieredStrings::load_dir(&dir).unwrap();
+    let loaded = TieredStrings::load_dir(&dir).expect("load store just saved");
     assert_eq!(loaded.len(), n);
     assert_eq!(loaded.get_string(n / 2), strings[n / 2]);
     // Recovery time, clean path: the resilient loader's overhead over the
     // strict one (same directory, per-segment validation + temp sweep).
     let recover_clean_ms = median_ms(samples, || {
         time_once_ms(|| {
-            let (_, report) = TieredStrings::recover_dir(&dir).unwrap();
+            let (_, report) = TieredStrings::recover_dir(&dir).expect("recover undamaged dir");
             assert!(report.is_clean());
         })
         .1
@@ -129,24 +139,25 @@ fn bench_tiered(n: usize, samples: usize, out: &mut Vec<Measurement>, t: &Table)
     // serve the rest.
     let broken = scratch_dir().join(format!("store-broken-{n}"));
     std::fs::remove_dir_all(&broken).ok();
-    std::fs::create_dir_all(&broken).unwrap();
+    std::fs::create_dir_all(&broken).expect("create scratch copy dir");
     let mut victim = None;
-    for entry in std::fs::read_dir(&dir).unwrap() {
-        let name = entry.unwrap().file_name();
-        std::fs::copy(dir.join(&name), broken.join(&name)).unwrap();
+    for entry in std::fs::read_dir(&dir).expect("list saved store dir") {
+        let name = entry.expect("read dir entry").file_name();
+        std::fs::copy(dir.join(&name), broken.join(&name)).expect("copy store file");
         let s = name.to_string_lossy().into_owned();
         if s.starts_with("seg-") && s.ends_with(".wt") && victim.is_none() {
             victim = Some(s);
         }
     }
     let victim = broken.join(victim.expect("a sealed segment exists"));
-    let mut bytes = std::fs::read(&victim).unwrap();
+    let mut bytes = std::fs::read(&victim).expect("read victim segment");
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
-    std::fs::write(&victim, bytes).unwrap();
+    std::fs::write(&victim, bytes).expect("write corrupted segment");
     let recover_degraded_ms = median_ms(samples, || {
         time_once_ms(|| {
-            let (_, report) = TieredStrings::recover_dir(&broken).unwrap();
+            let (_, report) =
+                TieredStrings::recover_dir(&broken).expect("recover dir with one bad segment");
             assert_eq!(report.quarantined.len(), 1);
         })
         .1

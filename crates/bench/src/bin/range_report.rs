@@ -26,7 +26,7 @@ fn main() {
 fn run(name: &str, data: Vec<String>, n: usize) {
     let coder = NinthBitCoder;
     let seq: Vec<BitString> = data.iter().map(|s| coder.encode(s.as_bytes())).collect();
-    let wt = WaveletTrie::build(&seq).unwrap();
+    let wt = WaveletTrie::build(&seq).expect("NinthBitCoder output is prefix-free");
     let naive = NaiveSeq::from_iter(data.iter());
     println!(
         "\n== E7: §5 range algorithms, {name}, n = {n}, |Sset| = {} ==\n",

@@ -41,7 +41,8 @@ struct Measurement {
 
 fn median_ms(samples: usize, mut f: impl FnMut() -> f64) -> f64 {
     let mut v: Vec<f64> = (0..samples).map(|_| f()).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Timings come from `Instant` deltas, so NaN is impossible.
+    v.sort_by(|a, b| a.partial_cmp(b).expect("timings are never NaN"));
     v[v.len() / 2]
 }
 
@@ -54,8 +55,12 @@ fn bench_freeze_vs_rebuild(n: usize, samples: usize, out: &mut Vec<Measurement>)
     let mut dynamic = DynamicWaveletTrie::new();
     let mut append = AppendWaveletTrie::new();
     for s in &encoded {
-        dynamic.insert(s.as_bitstr(), dynamic.len()).unwrap();
-        append.append(s.as_bitstr()).unwrap();
+        dynamic
+            .insert(s.as_bitstr(), dynamic.len())
+            .expect("NinthBitCoder output is prefix-free");
+        append
+            .append(s.as_bitstr())
+            .expect("NinthBitCoder output is prefix-free");
     }
 
     let t = Table::new(
@@ -67,14 +72,22 @@ fn bench_freeze_vs_rebuild(n: usize, samples: usize, out: &mut Vec<Measurement>)
             "DynamicWaveletTrie",
             median_ms(samples, || time_once_ms(|| dynamic.freeze()).1),
             median_ms(samples, || {
-                time_once_ms(|| WaveletTrie::from_bitstrings(dynamic.iter_seq()).unwrap()).1
+                time_once_ms(|| {
+                    WaveletTrie::from_bitstrings(dynamic.iter_seq())
+                        .expect("stored sequence is prefix-free")
+                })
+                .1
             }),
         ),
         (
             "AppendWaveletTrie",
             median_ms(samples, || time_once_ms(|| append.freeze()).1),
             median_ms(samples, || {
-                time_once_ms(|| WaveletTrie::from_bitstrings(append.iter_seq()).unwrap()).1
+                time_once_ms(|| {
+                    WaveletTrie::from_bitstrings(append.iter_seq())
+                        .expect("stored sequence is prefix-free")
+                })
+                .1
             }),
         ),
     ] {

@@ -27,7 +27,7 @@ fn report(name: &str, data: Vec<String>) {
     let stats = SequenceStats::from_bitstrings(&seq).expect("prefix-free");
     let input_bits: usize = data.iter().map(|s| s.len() * 8).sum();
 
-    let wt = WaveletTrie::build(&seq).unwrap();
+    let wt = WaveletTrie::build(&seq).expect("NinthBitCoder output is prefix-free");
     let sp = wt.space_breakdown();
     let pd = PathDecompTrie::from_static(&wt);
     let psp = pd.space_breakdown();
@@ -35,8 +35,10 @@ fn report(name: &str, data: Vec<String>) {
     let mut app = AppendWaveletTrie::new();
     let mut dy = DynamicWaveletTrie::new();
     for s in &seq {
-        app.append(s.as_bitstr()).unwrap();
-        dy.append(s.as_bitstr()).unwrap();
+        app.append(s.as_bitstr())
+            .expect("NinthBitCoder output is prefix-free");
+        dy.append(s.as_bitstr())
+            .expect("NinthBitCoder output is prefix-free");
     }
     let (apt, abv) = app.space_parts();
     let (dpt, dbv) = dy.space_parts();

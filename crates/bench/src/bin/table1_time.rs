@@ -14,7 +14,7 @@ use wt_workloads::{url_log, UrlLogConfig};
 
 fn main() {
     let sizes = [10_000usize, 20_000, 40_000, 80_000, 160_000];
-    let max_n = *sizes.last().unwrap();
+    let max_n = *sizes.last().expect("sizes is non-empty");
     let raw = url_log(max_n, UrlLogConfig::default(), 1);
     let coder = NinthBitCoder;
     let all: Vec<BitString> = raw.iter().map(|s| coder.encode(s.as_bytes())).collect();
@@ -34,7 +34,7 @@ fn main() {
         let probes: Vec<&BitString> = (0..64).map(|i| &seq[i * (n / 64)]).collect();
 
         // -------- static --------------------------------------------------
-        let wt = WaveletTrie::build(seq).unwrap();
+        let wt = WaveletTrie::build(seq).expect("NinthBitCoder output is prefix-free");
         let mut i = 0usize;
         let access = time_per_op_ns(2000, 3, || {
             i = (i + 7919) % n;

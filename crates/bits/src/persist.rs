@@ -104,6 +104,35 @@ pub enum LoadError {
     },
 }
 
+impl Clone for LoadError {
+    /// Structure-preserving clone. `io::Error` itself is not `Clone`, so
+    /// the `Io` variant clones as a new error of the same kind carrying
+    /// the original's message — everything a reporter or health tracker
+    /// needs; only the live OS handle (if any) is not duplicated.
+    fn clone(&self) -> Self {
+        match self {
+            LoadError::Io(e) => LoadError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            LoadError::BadMagic => LoadError::BadMagic,
+            LoadError::UnsupportedVersion { found } => {
+                LoadError::UnsupportedVersion { found: *found }
+            }
+            LoadError::WrongKind { expected, found } => LoadError::WrongKind {
+                expected: *expected,
+                found: *found,
+            },
+            LoadError::Truncated => LoadError::Truncated,
+            LoadError::SectionBounds => LoadError::SectionBounds,
+            LoadError::Checksum(tag) => LoadError::Checksum(*tag),
+            LoadError::MissingSection(tag) => LoadError::MissingSection(*tag),
+            LoadError::Invalid(what) => LoadError::Invalid(what),
+            LoadError::InFile { path, cause } => LoadError::InFile {
+                path: path.clone(),
+                cause: cause.clone(),
+            },
+        }
+    }
+}
+
 impl LoadError {
     /// Tags this error with the file it came from. Idempotent: an error
     /// already carrying a path keeps the innermost (original) one.

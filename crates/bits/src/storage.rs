@@ -156,8 +156,9 @@ pub fn is_retryable(kind: io::ErrorKind) -> bool {
 pub struct RetryPolicy {
     /// Total attempts, including the first (so `1` disables retries).
     pub attempts: u32,
-    /// Sleep before retry `i` is `base_backoff << (i - 1)`; set to zero
-    /// in tests to keep fault-injection runs instant.
+    /// Sleep before retry `i` is `base_backoff << (i - 1)` (deterministic
+    /// exponential), or a decorrelated-jitter draw when [`RetryPolicy::jitter`]
+    /// is set; set to zero in tests to keep fault-injection runs instant.
     pub base_backoff: Duration,
     /// Total-deadline cap: once this much wall time has elapsed since the
     /// first attempt, no further retries are made and the last error is
@@ -166,6 +167,16 @@ pub struct RetryPolicy {
     /// endless `TimedOut`): attempts bound the count, this bounds the
     /// duration, whichever trips first wins.
     pub max_elapsed: Option<Duration>,
+    /// Decorrelated-jitter seed. `None` keeps the deterministic
+    /// exponential ladder — fine for a single retrier, but when many
+    /// shards (or many clients) fail at the same moment, identical
+    /// ladders re-converge on the struggling resource in synchronized
+    /// waves. `Some(seed)` draws each sleep uniformly from
+    /// `[base_backoff, 3 × previous_sleep]` (the classic decorrelated
+    /// jitter recurrence), clamped to `base_backoff << 16`, from a
+    /// deterministic xorshift stream seeded here — reproducible in tests,
+    /// desynchronized in production.
+    pub jitter: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -176,16 +187,84 @@ impl Default for RetryPolicy {
             // 3 attempts × ~ms backoffs is already bounded; the cap
             // matters for callers that raise `attempts`.
             max_elapsed: Some(Duration::from_secs(30)),
+            jitter: None,
+        }
+    }
+}
+
+/// The sleep schedule of a [`RetryPolicy`]: item `i` (0-based) is the
+/// sleep before retry `i + 1`. Infinite; callers bound it by their
+/// attempt budget. Obtained from [`RetryPolicy::backoffs`].
+#[derive(Clone, Debug)]
+pub struct Backoffs {
+    base: Duration,
+    prev: Duration,
+    attempt: u32,
+    /// Jitter PRNG state; `None` = deterministic exponential.
+    state: Option<u64>,
+}
+
+impl Iterator for Backoffs {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        self.attempt += 1;
+        let next = match &mut self.state {
+            None => self.base * (1 << (self.attempt - 1).min(16)),
+            Some(s) => {
+                // Decorrelated jitter: sleep₁ = base, then
+                // sleepᵢ = uniform[base, 3·sleepᵢ₋₁], clamped to base<<16
+                // (the same growth cap the exponential ladder has).
+                if self.attempt == 1 {
+                    self.base
+                } else {
+                    let base = self.base.as_nanos() as u64;
+                    let cap = base.saturating_shl(16);
+                    let hi = (self.prev.as_nanos() as u64)
+                        .saturating_mul(3)
+                        .min(cap)
+                        .max(base);
+                    *s = mix(s.wrapping_add(0x9E3779B97F4A7C15));
+                    Duration::from_nanos(base + *s % (hi - base + 1))
+                }
+            }
+        };
+        self.prev = next;
+        Some(next)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if self == 0 || self.leading_zeros() >= shift {
+            self << shift
+        } else {
+            u64::MAX
         }
     }
 }
 
 impl RetryPolicy {
+    /// The policy's sleep schedule (see [`Backoffs`]).
+    pub fn backoffs(&self) -> Backoffs {
+        Backoffs {
+            base: self.base_backoff,
+            prev: self.base_backoff,
+            attempt: 0,
+            state: self.jitter.map(|s| s | 1),
+        }
+    }
+
     /// Runs `f`, retrying on retryable errors per the policy.
     pub fn run<T>(&self, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
         let attempts = self.attempts.max(1);
         let started = std::time::Instant::now();
         let mut attempt = 0u32;
+        let mut backoffs = self.backoffs();
         loop {
             match f() {
                 Ok(v) => return Ok(v),
@@ -194,7 +273,7 @@ impl RetryPolicy {
                     if attempt >= attempts || !is_retryable(e.kind()) {
                         return Err(e);
                     }
-                    let backoff = self.base_backoff * (1 << (attempt - 1).min(16));
+                    let backoff = backoffs.next().unwrap_or(self.base_backoff);
                     let out_of_time = self.max_elapsed.is_some_and(|cap| {
                         // Count the upcoming sleep against the deadline
                         // too: never start a backoff that would overrun it.
@@ -751,6 +830,7 @@ mod tests {
                 attempts: 3,
                 base_backoff: Duration::ZERO,
                 max_elapsed: None,
+                jitter: None,
             },
         );
         retrying.write(&p("/d/a"), b"x").unwrap();
@@ -776,6 +856,7 @@ mod tests {
             attempts: 5,
             base_backoff: Duration::ZERO,
             max_elapsed: None,
+            jitter: None,
         };
         let r: io::Result<()> = policy.run(|| {
             calls += 1;
@@ -790,6 +871,81 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(calls, 5, "transient errors retry to exhaustion");
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_decorrelated_bounds() {
+        // Without jitter: the exact exponential ladder the storage stack
+        // has always used — byte-for-byte deterministic.
+        let plain = RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::from_millis(2),
+            max_elapsed: None,
+            jitter: None,
+        };
+        let ladder: Vec<Duration> = plain.backoffs().take(5).collect();
+        assert_eq!(
+            ladder,
+            [2, 4, 8, 16, 32].map(Duration::from_millis).to_vec()
+        );
+        // With jitter: sleep₁ = base exactly; every later sleep is drawn
+        // from [base, 3 × previous], clamped to base << 16. These are the
+        // decorrelated-jitter bounds — pin them over a long stream for
+        // several seeds.
+        let base = Duration::from_millis(1);
+        let cap = base * (1 << 16);
+        for seed in [0u64, 1, 0xDECAF, u64::MAX] {
+            let policy = RetryPolicy {
+                attempts: 64,
+                base_backoff: base,
+                max_elapsed: None,
+                jitter: Some(seed),
+            };
+            let sleeps: Vec<Duration> = policy.backoffs().take(64).collect();
+            assert_eq!(sleeps[0], base, "first sleep is always base");
+            let mut prev = sleeps[0];
+            for (i, &s) in sleeps.iter().enumerate().skip(1) {
+                assert!(s >= base, "seed {seed} sleep {i}: {s:?} < base");
+                assert!(
+                    s <= (prev * 3).min(cap),
+                    "seed {seed} sleep {i}: {s:?} > 3×{prev:?}"
+                );
+                prev = s;
+            }
+            // Deterministic per seed: the same policy replays the same
+            // schedule (tests depend on reproducibility).
+            let replay: Vec<Duration> = policy.backoffs().take(64).collect();
+            assert_eq!(sleeps, replay);
+        }
+        // Two different seeds must actually decorrelate (not collapse to
+        // the same schedule — that would defeat the point).
+        let a: Vec<Duration> = RetryPolicy {
+            jitter: Some(7),
+            attempts: 16,
+            base_backoff: base,
+            max_elapsed: None,
+        }
+        .backoffs()
+        .take(16)
+        .collect();
+        let b: Vec<Duration> = RetryPolicy {
+            jitter: Some(8),
+            attempts: 16,
+            base_backoff: base,
+            max_elapsed: None,
+        }
+        .backoffs()
+        .take(16)
+        .collect();
+        assert_ne!(a, b, "distinct seeds must yield distinct schedules");
+        // Degenerate base: a zero base never sleeps, jittered or not.
+        let zero = RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::ZERO,
+            max_elapsed: None,
+            jitter: Some(3),
+        };
+        assert!(zero.backoffs().take(8).all(|d| d.is_zero()));
     }
 
     #[test]
@@ -813,6 +969,7 @@ mod tests {
                 attempts: u32::MAX, // effectively unbounded by count
                 base_backoff: Duration::from_millis(1),
                 max_elapsed: Some(Duration::from_millis(20)),
+                jitter: None,
             },
         );
         let err = retrying.write(&p("/d/a"), b"x").unwrap_err();
@@ -839,6 +996,7 @@ mod tests {
                 attempts: 10,
                 base_backoff: Duration::ZERO,
                 max_elapsed: Some(Duration::ZERO),
+                jitter: None,
             },
         );
         assert!(retrying2.write(&p("/d/a"), b"x").is_err());

@@ -1,0 +1,87 @@
+//! Per-query deadline budgets, propagated through every shard sub-call.
+//!
+//! A production front-end's latency tail is governed by its slowest
+//! dependency; the only defense is an explicit *budget* fixed when the
+//! request arrives and handed down to everything done on its behalf. A
+//! [`Deadline`] is that budget: an absolute `Instant` (so it shrinks as
+//! work proceeds — passing it along never resets the clock) or `none()`
+//! for unbounded administrative calls. The router checks it before
+//! dispatching, bounds its gather waits by [`Deadline::remaining`], and
+//! shards check it cooperatively between batch-kernel groups so a request
+//! that can no longer make its budget stops consuming cycles.
+
+use std::time::{Duration, Instant};
+
+/// An absolute time budget for one query (batch) and every sub-call made
+/// on its behalf. Copyable; cheap to pass by value.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: waits are unbounded (administrative/test calls).
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + budget),
+        }
+    }
+
+    /// A deadline at an absolute instant (for propagating a caller's
+    /// budget without restarting the clock).
+    pub fn at(at: Instant) -> Self {
+        Deadline { at: Some(at) }
+    }
+
+    /// Time left: `None` when unbounded, `Some(ZERO)` when expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn budget_counts_down_and_expires() {
+        let d = Deadline::within(Duration::from_millis(50));
+        assert!(!d.expired());
+        let r = d.remaining().unwrap();
+        assert!(r <= Duration::from_millis(50));
+        let past = Deadline::within(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn absolute_deadline_propagates_without_reset() {
+        let at = Instant::now() + Duration::from_millis(30);
+        let a = Deadline::at(at);
+        std::thread::sleep(Duration::from_millis(5));
+        let b = Deadline::at(at); // "forwarded" to a sub-call
+                                  // Both views share the absolute budget: b has less time left than
+                                  // the original budget, not a fresh 30ms.
+        assert!(b.remaining().unwrap() <= a.remaining().unwrap() + Duration::from_millis(1));
+        assert!(b.remaining().unwrap() < Duration::from_millis(30));
+    }
+}

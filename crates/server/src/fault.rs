@@ -1,0 +1,222 @@
+//! Deterministic fault injection at the shard boundary.
+//!
+//! [`FaultyShard`] wraps any [`Shard`] and fires scripted faults keyed by
+//! a monotone *operation index* (each `execute`/`append` call consumes one
+//! index), mirroring the per-op-index design of
+//! [`FaultStorage`](wt_bits::storage::FaultStorage) one layer up: storage
+//! faults exercise the persistence path, shard faults exercise the
+//! router's scatter-gather, health machine and deadline handling. Because
+//! faults are indexed — not random — every failover test replays
+//! identically.
+//!
+//! The script can be swapped mid-run with [`FaultyShard::set_script`],
+//! which is how harnesses model an operator fixing a shard so the router's
+//! half-open probe can observe recovery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use wt_trie::BitStr;
+
+use crate::deadline::Deadline;
+use crate::query::{Answer, ShardOp};
+use crate::shard::{Shard, ShardError};
+
+/// What a scripted fault does to the gated call.
+#[derive(Clone, Debug)]
+pub enum FaultAction {
+    /// Sleep this long before executing (models a slow shard; the call
+    /// still completes, possibly after the caller's deadline).
+    Delay(Duration),
+    /// Fail with [`ShardError::Unavailable`] instead of executing.
+    Fail,
+    /// Panic instead of executing (must be contained by the router).
+    Panic,
+}
+
+/// A deterministic fault schedule: actions keyed by operation index, plus
+/// an optional index from which every operation fails (a shard that goes
+/// down and stays down until the script is cleared).
+#[derive(Clone, Debug, Default)]
+pub struct FaultScript {
+    actions: Vec<(u64, FaultAction)>,
+    fail_from: Option<u64>,
+}
+
+impl FaultScript {
+    /// An empty script: the wrapper is transparent.
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// Delay operation `index` by `by`.
+    pub fn delay(mut self, index: u64, by: Duration) -> Self {
+        self.actions.push((index, FaultAction::Delay(by)));
+        self
+    }
+
+    /// Fail operation `index`.
+    pub fn fail(mut self, index: u64) -> Self {
+        self.actions.push((index, FaultAction::Fail));
+        self
+    }
+
+    /// Panic on operation `index`.
+    pub fn panic(mut self, index: u64) -> Self {
+        self.actions.push((index, FaultAction::Panic));
+        self
+    }
+
+    /// Fail every operation with index `>= from` (until the script is
+    /// replaced).
+    pub fn fail_from(mut self, from: u64) -> Self {
+        self.fail_from = Some(from);
+        self
+    }
+
+    fn action_for(&self, index: u64) -> Option<FaultAction> {
+        if self.fail_from.is_some_and(|from| index >= from) {
+            return Some(FaultAction::Fail);
+        }
+        self.actions
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, a)| a.clone())
+    }
+}
+
+/// A [`Shard`] wrapper that injects scripted faults. `execute` and
+/// `append` share one operation counter; `len` is an administrative call
+/// and is never gated.
+pub struct FaultyShard {
+    inner: Arc<dyn Shard>,
+    script: Mutex<FaultScript>,
+    ops: AtomicU64,
+}
+
+impl FaultyShard {
+    /// Wrap `inner`, injecting faults per `script`.
+    pub fn new(inner: Arc<dyn Shard>, script: FaultScript) -> Self {
+        FaultyShard {
+            inner,
+            script: Mutex::new(script),
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Replace the fault schedule mid-run (e.g. clear it to model the
+    /// shard being fixed, so a half-open probe succeeds).
+    pub fn set_script(&self, script: FaultScript) {
+        *self.script.lock().unwrap_or_else(PoisonError::into_inner) = script;
+    }
+
+    /// Operations gated so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    fn gate(&self) -> Result<(), ShardError> {
+        let index = self.ops.fetch_add(1, Ordering::Relaxed);
+        let action = self
+            .script
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .action_for(index);
+        match action {
+            None => Ok(()),
+            Some(FaultAction::Delay(by)) => {
+                std::thread::sleep(by);
+                Ok(())
+            }
+            Some(FaultAction::Fail) => Err(ShardError::Unavailable(format!(
+                "injected failure at op {index}"
+            ))),
+            Some(FaultAction::Panic) => panic!("injected panic at op {index}"),
+        }
+    }
+}
+
+impl Shard for FaultyShard {
+    fn execute(&self, ops: &[ShardOp], deadline: Deadline) -> Result<Vec<Answer>, ShardError> {
+        self.gate()?;
+        self.inner.execute(ops, deadline)
+    }
+
+    fn append(&self, s: BitStr<'_>) -> Result<u64, ShardError> {
+        self.gate()?;
+        self.inner.append(s)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::StoreShard;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Instant;
+    use wt_store::TieredStore;
+    use wt_trie::BitString;
+
+    fn inner() -> Arc<dyn Shard> {
+        let mut store = TieredStore::new();
+        store
+            .append(BitString::parse("010").as_bitstr())
+            .expect("prefix-free test data");
+        Arc::new(StoreShard::new(store))
+    }
+
+    #[test]
+    fn script_fires_by_op_index_and_clears() {
+        let shard = FaultyShard::new(
+            inner(),
+            FaultScript::new()
+                .fail(1)
+                .delay(2, Duration::from_millis(20)),
+        );
+        let ops = vec![ShardOp::Count(BitString::parse("010"))];
+
+        // Op 0: transparent.
+        assert!(shard.execute(&ops, Deadline::none()).is_ok());
+        // Op 1: injected failure.
+        let err = shard.execute(&ops, Deadline::none()).unwrap_err();
+        assert!(matches!(err, ShardError::Unavailable(_)));
+        // Op 2: delayed but correct.
+        let t0 = Instant::now();
+        assert!(shard.execute(&ops, Deadline::none()).is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // Clearing the script heals the shard.
+        shard.set_script(FaultScript::new());
+        assert!(shard.execute(&ops, Deadline::none()).is_ok());
+        assert_eq!(shard.ops_seen(), 4);
+    }
+
+    #[test]
+    fn fail_from_takes_the_shard_down_until_cleared() {
+        let shard = FaultyShard::new(inner(), FaultScript::new().fail_from(0));
+        let ops = vec![ShardOp::Count(BitString::parse("010"))];
+        for _ in 0..3 {
+            assert!(shard.execute(&ops, Deadline::none()).is_err());
+        }
+        assert_eq!(shard.len(), 1, "len is administrative and never gated");
+        shard.set_script(FaultScript::new());
+        assert!(shard.execute(&ops, Deadline::none()).is_ok());
+    }
+
+    #[test]
+    fn injected_panic_propagates_for_router_containment() {
+        let shard = FaultyShard::new(inner(), FaultScript::new().panic(0));
+        let ops = vec![ShardOp::Count(BitString::parse("010"))];
+        let result = catch_unwind(AssertUnwindSafe(|| shard.execute(&ops, Deadline::none())));
+        assert!(
+            result.is_err(),
+            "panic reaches the caller to be contained there"
+        );
+        // The wrapper itself stays usable afterwards.
+        assert!(shard.execute(&ops, Deadline::none()).is_ok());
+    }
+}

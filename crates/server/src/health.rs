@@ -1,0 +1,345 @@
+//! Per-shard health state machine: a circuit breaker with half-open probes.
+//!
+//! ```text
+//!                    errors in window ≥ degrade_errors
+//!            ┌───────────────────────────────────────────┐
+//!            │                                           ▼
+//!       ┌─────────┐    window clears    ┌──────────┐  errors ≥
+//!       │ Healthy │◀────────────────────│ Degraded │  quarantine_errors
+//!       └─────────┘                     └──────────┘      │
+//!            ▲                                            ▼
+//!            │  probe succeeds                    ┌─────────────┐
+//!            └────────────────────────────────────│ Quarantined │◀─┐
+//!                                                 └─────────────┘  │
+//!                                                        │         │
+//!                                    cooldown elapsed →  │ half-open probe
+//!                                    admit ONE probe ────┘ fails: restart
+//!                                                          cooldown
+//! ```
+//!
+//! Outcomes (success/error, with successes over the latency budget counted
+//! as errors) land in a sliding window of the last [`HealthConfig::window`]
+//! calls. The router is the only writer: worker threads report back over a
+//! channel and the router thread applies the outcomes, so transitions are
+//! deterministic given a deterministic fault script.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker state of one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving normally.
+    Healthy,
+    /// Errors accumulating; still served, but one more burst away from
+    /// quarantine.
+    Degraded,
+    /// Circuit open: no traffic except a single half-open probe after each
+    /// cooldown.
+    Quarantined,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
+/// Tuning for the per-shard health machine.
+#[derive(Clone, Debug)]
+pub struct HealthConfig {
+    /// Sliding window length (outcomes remembered per shard).
+    pub window: usize,
+    /// Errors in the window at which the shard is marked [`HealthState::Degraded`].
+    pub degrade_errors: usize,
+    /// Errors in the window at which the circuit opens
+    /// ([`HealthState::Quarantined`]).
+    pub quarantine_errors: usize,
+    /// How long the circuit stays open before admitting one half-open
+    /// probe.
+    pub probe_cooldown: Duration,
+    /// Successes slower than this count as errors in the window (`None`
+    /// disables latency-based degradation).
+    pub latency_budget: Option<Duration>,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            window: 16,
+            degrade_errors: 2,
+            quarantine_errors: 4,
+            probe_cooldown: Duration::from_millis(50),
+            latency_budget: None,
+        }
+    }
+}
+
+/// What the router may do with a request for this shard right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Dispatch normally.
+    Serve,
+    /// Dispatch as the single half-open probe; report the outcome via
+    /// [`ShardHealth::record_probe`].
+    Probe,
+    /// Circuit open and not yet due for a probe: do not dispatch.
+    Reject,
+}
+
+/// Sliding-window health tracker for one shard. Not internally
+/// synchronized — the router wraps each in a `Mutex` and is the only
+/// writer.
+#[derive(Debug)]
+pub struct ShardHealth {
+    config: HealthConfig,
+    state: HealthState,
+    /// `true` = error (or over-budget success), most recent at the back.
+    window: VecDeque<bool>,
+    quarantined_at: Option<Instant>,
+    /// A half-open probe is in flight; only one at a time.
+    probing: bool,
+    /// Times the circuit has opened.
+    pub trips: u64,
+    /// Half-open probes dispatched.
+    pub probes: u64,
+    /// Probe successes that closed the circuit.
+    pub recoveries: u64,
+    /// Most recent error description, for observability.
+    pub last_error: Option<String>,
+}
+
+/// Read-only copy of one shard's health, for reports and tests.
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// Shard index.
+    pub shard: u32,
+    /// Current circuit state.
+    pub state: HealthState,
+    /// Times the circuit has opened.
+    pub trips: u64,
+    /// Half-open probes dispatched.
+    pub probes: u64,
+    /// Probe successes that closed the circuit.
+    pub recoveries: u64,
+    /// Most recent error description.
+    pub last_error: Option<String>,
+}
+
+impl ShardHealth {
+    /// A fresh, healthy tracker.
+    pub fn new(config: HealthConfig) -> Self {
+        ShardHealth {
+            config,
+            state: HealthState::Healthy,
+            window: VecDeque::new(),
+            quarantined_at: None,
+            probing: false,
+            trips: 0,
+            probes: 0,
+            recoveries: 0,
+            last_error: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Admission decision for one incoming sub-call.
+    pub fn admit(&mut self) -> Admission {
+        match self.state {
+            HealthState::Healthy | HealthState::Degraded => Admission::Serve,
+            HealthState::Quarantined => {
+                let due = self
+                    .quarantined_at
+                    .is_none_or(|at| at.elapsed() >= self.config.probe_cooldown);
+                if due && !self.probing {
+                    self.probing = true;
+                    self.probes += 1;
+                    Admission::Probe
+                } else {
+                    Admission::Reject
+                }
+            }
+        }
+    }
+
+    /// Record a completed (non-probe) call that returned answers.
+    /// Successes slower than the latency budget count as errors.
+    pub fn record_success(&mut self, latency: Duration) {
+        let over_budget = self.config.latency_budget.is_some_and(|b| latency > b);
+        self.push_outcome(over_budget);
+        if over_budget {
+            self.last_error = Some(format!("latency {latency:?} over budget"));
+        }
+    }
+
+    /// Record a failed (non-probe) call.
+    pub fn record_error(&mut self, cause: &str) {
+        self.last_error = Some(cause.to_string());
+        self.push_outcome(true);
+    }
+
+    /// Record the outcome of the half-open probe admitted by
+    /// [`ShardHealth::admit`]. Success closes the circuit (back to
+    /// [`HealthState::Healthy`], window cleared); failure restarts the
+    /// cooldown.
+    pub fn record_probe(&mut self, outcome: Result<Duration, String>) {
+        self.probing = false;
+        match outcome {
+            Ok(_) => {
+                self.state = HealthState::Healthy;
+                self.window.clear();
+                self.quarantined_at = None;
+                self.recoveries += 1;
+            }
+            Err(cause) => {
+                self.last_error = Some(cause);
+                self.quarantined_at = Some(Instant::now());
+            }
+        }
+    }
+
+    /// Read-only copy for reports.
+    pub fn snapshot(&self, shard: u32) -> HealthSnapshot {
+        HealthSnapshot {
+            shard,
+            state: self.state,
+            trips: self.trips,
+            probes: self.probes,
+            recoveries: self.recoveries,
+            last_error: self.last_error.clone(),
+        }
+    }
+
+    fn push_outcome(&mut self, error: bool) {
+        self.window.push_back(error);
+        while self.window.len() > self.config.window {
+            self.window.pop_front();
+        }
+        // Quarantine is sticky: only a successful probe closes the circuit,
+        // so late results from already-dispatched calls can't flap it.
+        if self.state == HealthState::Quarantined {
+            return;
+        }
+        let errors = self.window.iter().filter(|&&e| e).count();
+        let next = if errors >= self.config.quarantine_errors {
+            HealthState::Quarantined
+        } else if errors >= self.config.degrade_errors {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        };
+        if next == HealthState::Quarantined && self.state != HealthState::Quarantined {
+            self.trips += 1;
+            self.quarantined_at = Some(Instant::now());
+        }
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HealthConfig {
+        HealthConfig {
+            window: 8,
+            degrade_errors: 2,
+            quarantine_errors: 4,
+            probe_cooldown: Duration::ZERO,
+            latency_budget: None,
+        }
+    }
+
+    #[test]
+    fn healthy_to_degraded_to_quarantined_and_back() {
+        let mut h = ShardHealth::new(config());
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.admit(), Admission::Serve);
+
+        h.record_error("boom 1");
+        assert_eq!(h.state(), HealthState::Healthy);
+        h.record_error("boom 2");
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert_eq!(h.admit(), Admission::Serve, "degraded still serves");
+
+        h.record_error("boom 3");
+        h.record_error("boom 4");
+        assert_eq!(h.state(), HealthState::Quarantined);
+        assert_eq!(h.trips, 1);
+
+        // Cooldown is zero: first admit is the half-open probe, and while
+        // it is in flight everything else is rejected.
+        assert_eq!(h.admit(), Admission::Probe);
+        assert_eq!(h.admit(), Admission::Reject);
+
+        // Probe fails: circuit stays open, cooldown restarts.
+        h.record_probe(Err("still down".into()));
+        assert_eq!(h.state(), HealthState::Quarantined);
+
+        // Next probe succeeds: healthy again, window cleared.
+        assert_eq!(h.admit(), Admission::Probe);
+        h.record_probe(Ok(Duration::from_micros(10)));
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.recoveries, 1);
+        assert_eq!(h.admit(), Admission::Serve);
+    }
+
+    #[test]
+    fn successes_age_errors_out_of_the_window() {
+        let mut h = ShardHealth::new(config());
+        h.record_error("a");
+        h.record_error("b");
+        assert_eq!(h.state(), HealthState::Degraded);
+        for _ in 0..8 {
+            h.record_success(Duration::from_micros(5));
+        }
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn slow_successes_count_against_the_latency_budget() {
+        let mut cfg = config();
+        cfg.latency_budget = Some(Duration::from_millis(1));
+        let mut h = ShardHealth::new(cfg);
+        h.record_success(Duration::from_millis(10));
+        h.record_success(Duration::from_millis(10));
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert!(h.last_error.as_deref().unwrap().contains("over budget"));
+    }
+
+    #[test]
+    fn quarantine_is_sticky_under_late_results() {
+        let mut h = ShardHealth::new(config());
+        for i in 0..4 {
+            h.record_error(&format!("e{i}"));
+        }
+        assert_eq!(h.state(), HealthState::Quarantined);
+        // Late successes from calls dispatched before the trip must not
+        // close the circuit — only a probe may.
+        for _ in 0..8 {
+            h.record_success(Duration::from_micros(5));
+        }
+        assert_eq!(h.state(), HealthState::Quarantined);
+    }
+
+    #[test]
+    fn cooldown_gates_the_probe() {
+        let mut cfg = config();
+        cfg.probe_cooldown = Duration::from_millis(50);
+        let mut h = ShardHealth::new(cfg);
+        for i in 0..4 {
+            h.record_error(&format!("e{i}"));
+        }
+        assert_eq!(h.admit(), Admission::Reject, "cooldown not yet elapsed");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(h.admit(), Admission::Probe);
+    }
+}

@@ -1,0 +1,299 @@
+//! The shard abstraction and its production implementation over
+//! [`TieredStore`].
+//!
+//! A [`Shard`] executes a sub-batch of [`ShardOp`]s against its local
+//! sequence and appends strings assigned to it by the router's hash
+//! partitioning. The production implementation, [`StoreShard`], serves
+//! reads from a wait-free [`StoreSnapshot`] (one `Arc` clone per batch; no
+//! lock is held while answering) using the store's software-pipelined
+//! `*_batch` kernels, and checks the query's [`Deadline`] cooperatively
+//! between kernel chunks so a request that has outlived its budget stops
+//! burning cycles instead of dragging the tail.
+//!
+//! Writes and maintenance serialize on an internal mutex and publish a new
+//! epoch when done; in-flight reads keep answering from their snapshot.
+
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+use wavelet_trie::SeqIndex;
+use wt_bits::storage::Storage;
+use wt_store::maintain::Maintenance;
+use wt_store::TieredStore;
+use wt_store::{MaintenanceReport, RecoveryReport, StoreError, StoreReader, StoreSnapshot};
+use wt_trie::BitStr;
+
+use crate::deadline::Deadline;
+use crate::query::{Answer, ShardOp};
+
+/// Ops per batch-kernel call between cooperative deadline checks. Small
+/// enough that a shard notices an expired budget within microseconds;
+/// large enough that the batch kernels still overlap their cache misses.
+const DEADLINE_CHECK_CHUNK: usize = 256;
+
+/// Why a shard sub-call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// Transient unavailability (storage fault, injected failure). The
+    /// router may retry within the deadline budget, and the error counts
+    /// against the shard's health window.
+    Unavailable(String),
+    /// The call noticed the query deadline had expired and stopped early.
+    /// Not retried (the budget is gone) and not a health signal by itself
+    /// — the router attributes it to the *query*, not the shard.
+    DeadlineExceeded,
+    /// The request itself was invalid (e.g. a prefix-free violation on
+    /// append). A client error: never retried, never counted against
+    /// shard health.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Unavailable(m) => write!(f, "shard unavailable: {m}"),
+            ShardError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ShardError::Rejected(m) => write!(f, "request rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One partition of the sharded store. Object-safe so routers can mix
+/// production shards with fault-injection wrappers.
+pub trait Shard: Send + Sync {
+    /// Execute a sub-batch against the shard's current published state.
+    /// Answers are parallel to `ops`.
+    fn execute(&self, ops: &[ShardOp], deadline: Deadline) -> Result<Vec<Answer>, ShardError>;
+
+    /// Append a (binarized, prefix-free) string; returns its local
+    /// position.
+    fn append(&self, s: BitStr<'_>) -> Result<u64, ShardError>;
+
+    /// Strings currently published by this shard.
+    fn len(&self) -> usize;
+
+    /// Whether the shard currently publishes no strings.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Production [`Shard`]: a [`TieredStore`] behind a write mutex, serving
+/// reads from published snapshots.
+pub struct StoreShard {
+    store: Mutex<TieredStore>,
+    reader: StoreReader,
+}
+
+impl StoreShard {
+    /// Wrap a store (publishing its current state first so readers see
+    /// it).
+    pub fn new(mut store: TieredStore) -> Self {
+        store.publish();
+        let reader = store.reader();
+        StoreShard {
+            store: Mutex::new(store),
+            reader,
+        }
+    }
+
+    /// Recover a shard from a persisted directory via the store's
+    /// crash-safe [`TieredStore::recover_dir_with`]. Damaged generations
+    /// come back quarantined in the [`RecoveryReport`]; the shard serves
+    /// whatever survived.
+    pub fn recover(
+        storage: &dyn Storage,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let (store, report) = TieredStore::recover_dir_with(storage, dir)?;
+        Ok((StoreShard::new(store), report))
+    }
+
+    /// Run background maintenance (seal/compact/persist with retry and
+    /// panic containment) and publish the result. Reads continue from the
+    /// previous epoch throughout.
+    pub fn maintain_with(&self, opts: &Maintenance<'_>) -> MaintenanceReport {
+        let mut store = self.store.lock().unwrap_or_else(PoisonError::into_inner);
+        let report = store.maintain_with(opts);
+        store.publish();
+        report
+    }
+
+    /// The latest published snapshot (what `execute` serves from).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        self.reader.snapshot()
+    }
+
+    /// Persist the shard through an injectable storage backend.
+    pub fn save_dir_with(
+        &self,
+        storage: &dyn Storage,
+        dir: impl AsRef<Path>,
+    ) -> Result<(), StoreError> {
+        let store = self.store.lock().unwrap_or_else(PoisonError::into_inner);
+        store.save_dir_with(storage, dir)
+    }
+}
+
+impl Shard for StoreShard {
+    fn execute(&self, ops: &[ShardOp], deadline: Deadline) -> Result<Vec<Answer>, ShardError> {
+        let snap = self.reader.snapshot();
+        let len = snap.len();
+        let mut answers: Vec<Option<Answer>> = vec![None; ops.len()];
+
+        // Group by kind so each kind goes through its software-pipelined
+        // batch kernel, in chunks with a deadline check between chunks.
+        let mut counts: Vec<usize> = Vec::new(); // indices into `ops`
+        let mut prefixes: Vec<usize> = Vec::new();
+        let mut accesses: Vec<usize> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                ShardOp::Count(_) => counts.push(i),
+                ShardOp::CountPrefix(_) => prefixes.push(i),
+                ShardOp::Access(pos) => {
+                    if (*pos as usize) < len {
+                        accesses.push(i);
+                    } else {
+                        // Out-of-range access answers `None` rather than
+                        // panicking the worker: positions are client data.
+                        answers[i] = Some(Answer::Access(None));
+                    }
+                }
+            }
+        }
+
+        for chunk in counts.chunks(DEADLINE_CHECK_CHUNK) {
+            if deadline.expired() {
+                return Err(ShardError::DeadlineExceeded);
+            }
+            let queries: Vec<(BitStr<'_>, usize)> = chunk
+                .iter()
+                .map(|&i| match &ops[i] {
+                    ShardOp::Count(s) => (s.as_bitstr(), len),
+                    _ => unreachable!("counts holds only Count indices"),
+                })
+                .collect();
+            for (&i, r) in chunk.iter().zip(snap.rank_batch(&queries)) {
+                answers[i] = Some(Answer::Count(r));
+            }
+        }
+
+        for chunk in prefixes.chunks(DEADLINE_CHECK_CHUNK) {
+            if deadline.expired() {
+                return Err(ShardError::DeadlineExceeded);
+            }
+            let queries: Vec<BitStr<'_>> = chunk
+                .iter()
+                .map(|&i| match &ops[i] {
+                    ShardOp::CountPrefix(p) => p.as_bitstr(),
+                    _ => unreachable!("prefixes holds only CountPrefix indices"),
+                })
+                .collect();
+            for (&i, c) in chunk.iter().zip(snap.count_prefix_batch(&queries)) {
+                answers[i] = Some(Answer::CountPrefix(c));
+            }
+        }
+
+        for chunk in accesses.chunks(DEADLINE_CHECK_CHUNK) {
+            if deadline.expired() {
+                return Err(ShardError::DeadlineExceeded);
+            }
+            let positions: Vec<usize> = chunk
+                .iter()
+                .map(|&i| match &ops[i] {
+                    ShardOp::Access(pos) => *pos as usize,
+                    _ => unreachable!("accesses holds only in-range Access indices"),
+                })
+                .collect();
+            for (&i, s) in chunk.iter().zip(snap.access_batch(&positions)) {
+                answers[i] = Some(Answer::Access(Some(s)));
+            }
+        }
+
+        // Every index was either answered by its kernel group or filled at
+        // classification time (out-of-range access).
+        Ok(answers
+            .into_iter()
+            .map(|a| a.expect("all op kinds classified and answered"))
+            .collect())
+    }
+
+    fn append(&self, s: BitStr<'_>) -> Result<u64, ShardError> {
+        let mut store = self.store.lock().unwrap_or_else(PoisonError::into_inner);
+        let pos = store.len() as u64;
+        store
+            .append(s)
+            .map_err(|_| ShardError::Rejected("prefix-free violation".to_string()))?;
+        store.publish();
+        Ok(pos)
+    }
+
+    fn len(&self) -> usize {
+        self.reader.snapshot().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use wt_trie::BitString;
+
+    fn shard_with(strings: &[&str]) -> StoreShard {
+        let mut store = TieredStore::new();
+        for s in strings {
+            let b = BitString::parse(s);
+            store.append(b.as_bitstr()).expect("prefix-free test data");
+        }
+        StoreShard::new(store)
+    }
+
+    #[test]
+    fn executes_mixed_batch_against_snapshot() {
+        let shard = shard_with(&["010", "011", "010", "111"]);
+        let ops = vec![
+            ShardOp::Count(BitString::parse("010")),
+            ShardOp::CountPrefix(BitString::parse("01")),
+            ShardOp::Access(3),
+            ShardOp::Access(99),
+            ShardOp::Count(BitString::parse("000")),
+        ];
+        let answers = shard
+            .execute(&ops, Deadline::none())
+            .expect("healthy shard");
+        assert_eq!(answers[0], Answer::Count(2));
+        assert_eq!(answers[1], Answer::CountPrefix(3));
+        assert_eq!(answers[2], Answer::Access(Some(BitString::parse("111"))));
+        assert_eq!(
+            answers[3],
+            Answer::Access(None),
+            "out of range answers None"
+        );
+        assert_eq!(answers[4], Answer::Count(0));
+    }
+
+    #[test]
+    fn expired_deadline_stops_execution() {
+        let shard = shard_with(&["010", "011"]);
+        let ops = vec![ShardOp::Count(BitString::parse("010"))];
+        let past = Deadline::within(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(shard.execute(&ops, past), Err(ShardError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn append_returns_local_position_and_publishes() {
+        let shard = shard_with(&["00"]);
+        assert_eq!(shard.len(), 1);
+        let pos = shard
+            .append(BitString::parse("01").as_bitstr())
+            .expect("valid append");
+        assert_eq!(pos, 1);
+        assert_eq!(shard.len(), 2, "append publishes for readers");
+        // Prefix-free violation is a client rejection, not unavailability.
+        let err = shard.append(BitString::parse("0").as_bitstr()).unwrap_err();
+        assert!(matches!(err, ShardError::Rejected(_)));
+    }
+}

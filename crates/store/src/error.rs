@@ -73,8 +73,25 @@ pub enum StoreErrorCause {
     NoCommittedGeneration,
 }
 
+impl Clone for StoreErrorCause {
+    /// Structure-preserving clone; the `Io` variant clones as a new
+    /// `io::Error` of the same kind carrying the original's message (the
+    /// OS error type itself is not `Clone`). This is what lets a health
+    /// layer *store* a failure and keep surfacing it later without
+    /// flattening it to a string.
+    fn clone(&self) -> Self {
+        match self {
+            StoreErrorCause::Io(e) => {
+                StoreErrorCause::Io(std::io::Error::new(e.kind(), e.to_string()))
+            }
+            StoreErrorCause::Format(e) => StoreErrorCause::Format(e.clone()),
+            StoreErrorCause::NoCommittedGeneration => StoreErrorCause::NoCommittedGeneration,
+        }
+    }
+}
+
 /// A persistence failure: file × operation × cause.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct StoreError {
     file: Option<PathBuf>,
     op: StoreOp,
@@ -167,7 +184,7 @@ impl std::error::Error for StoreError {
 }
 
 /// One damaged piece a resilient load set aside instead of failing on.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Quarantine {
     /// The offending file.
     pub file: PathBuf,
@@ -179,7 +196,11 @@ pub struct Quarantine {
 }
 
 /// Structured outcome of [`TieredStore::recover_dir`](crate::TieredStore::recover_dir).
-#[derive(Debug, Default)]
+///
+/// `Clone` so long-lived health/observability layers (e.g. a shard
+/// router) can retain the report alongside the recovered store instead of
+/// stringifying it.
+#[derive(Clone, Debug, Default)]
 pub struct RecoveryReport {
     /// The generation that was served.
     pub generation: u64,

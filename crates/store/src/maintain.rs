@@ -98,7 +98,11 @@ impl MaintenanceProbe for NoProbe {
 
 /// Why one maintenance step failed. Collected (not thrown) — the pass
 /// continues with the steps that can still make progress.
-#[derive(Debug)]
+///
+/// `Clone` + [`std::error::Error`]: a health layer can hold onto the
+/// failure, thread it through error-reporting stacks, and surface it
+/// later without stringly plumbing.
+#[derive(Clone, Debug)]
 pub enum MaintenanceFailure {
     /// The step panicked; the panic was contained by `catch_unwind`.
     Panicked {
@@ -142,12 +146,24 @@ impl fmt::Display for MaintenanceFailure {
     }
 }
 
+impl std::error::Error for MaintenanceFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MaintenanceFailure::Panicked { .. } => None,
+            MaintenanceFailure::Save(e) => Some(e),
+        }
+    }
+}
+
 /// What a [`TieredStore::maintain`] run accomplished — the degraded-mode
 /// mirror of [`RecoveryReport`](crate::RecoveryReport). A non-clean
 /// report means some step(s) failed after all retries; the store is still
 /// fully valid and readers still serve the last successfully published
 /// epoch.
-#[derive(Debug, Default)]
+///
+/// `Clone` for the same reason as
+/// [`RecoveryReport`](crate::RecoveryReport): health layers retain it.
+#[derive(Clone, Debug, Default)]
 pub struct MaintenanceReport {
     /// Passes executed (1 for a clean first pass; more means retries).
     pub passes: u32,

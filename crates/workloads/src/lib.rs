@@ -17,6 +17,10 @@ pub use urls::{url_log, UrlLogConfig};
 pub use words::word_text;
 pub use zipf::Zipf;
 
+// Re-exported so downstream load generators can drive the samplers above
+// without taking their own dependency on the vendored `rand` shim.
+pub use rand::RngExt;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -11,6 +11,7 @@
 pub use wavelet_trie;
 pub use wt_baselines as baselines;
 pub use wt_bits as bits;
+pub use wt_server as server;
 pub use wt_store as store;
 pub use wt_trie as trie;
 pub use wt_workloads as workloads;

@@ -178,6 +178,7 @@ fn one_pass<'a>(probe: &'a dyn MaintenanceProbe) -> Maintenance<'a> {
             attempts: 1,
             base_backoff: Duration::ZERO,
             max_elapsed: None,
+            jitter: None,
         },
         save_to: None,
         probe,
@@ -267,6 +268,7 @@ fn retrying_maintenance_recovers_from_a_transient_panic() {
             attempts: 3,
             base_backoff: Duration::ZERO,
             max_elapsed: None,
+            jitter: None,
         },
         save_to: None,
         probe: &probe,
